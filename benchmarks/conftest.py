@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one paper artefact at full scale, asserts the
+paper's qualitative shape, and prints the regenerated rows/series (run
+pytest with ``-s`` to see them inline).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benched function exactly once (experiments are long)."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

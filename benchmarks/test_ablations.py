@@ -1,0 +1,62 @@
+"""Ablation benches for PADLL's design knobs (DESIGN.md extension items).
+
+Each sweep isolates one knob and asserts its monotone effect:
+
+* enforcement latency -> excess unthrottled operations at job arrival;
+* token-bucket burst allowance -> peak MDS queueing under in-phase bursts;
+* feedback-loop interval -> work delivered under shifting demand.
+"""
+
+from __future__ import annotations
+
+from conftest import print_header
+
+from repro.experiments.ablations import (
+    sweep_burst_size,
+    sweep_control_lag,
+    sweep_loop_interval,
+)
+
+
+def test_ablation_control_lag(once):
+    points = once(sweep_control_lag, latencies=(0.0, 2.0, 10.0), duration=420.0)
+    print_header("Ablation: control-plane enforcement latency")
+    print(f"{'latency':<10} {'cap violations':<16} excess ops above cap")
+    for p in points:
+        print(
+            f"{p.latency:<10.0f} {p.violation_fraction * 100:<16.2f} "
+            f"{p.excess_ops / 1e3:.0f}K"
+        )
+    # Excess grows with latency; a tight loop keeps arrival transients tiny.
+    assert points[0].excess_ops < points[1].excess_ops < points[2].excess_ops
+    assert points[0].violation_fraction <= 0.02
+    assert points[2].excess_ops > 3 * points[0].excess_ops
+
+
+def test_ablation_burst_size(once):
+    points = once(sweep_burst_size, burst_seconds=(1.0, 4.0, 8.0), duration=420.0)
+    print_header("Ablation: token-bucket burst allowance")
+    print(f"{'burst (s of rate)':<20} {'peak MDS queue (s)':<20} peak rate / cap")
+    for p in points:
+        print(
+            f"{p.burst_seconds:<20.2f} {p.peak_queue_delay:<20.3f} "
+            f"{p.peak_over_cap:.2f}"
+        )
+    # Bigger buckets let in-phase jobs dump more at once: queueing grows.
+    assert points[0].peak_queue_delay < points[1].peak_queue_delay
+    assert points[1].peak_queue_delay <= points[2].peak_queue_delay
+    assert points[0].peak_over_cap <= 1.05
+    assert points[2].peak_over_cap > 1.5
+
+
+def test_ablation_loop_interval(once):
+    delivered = once(
+        sweep_loop_interval, intervals=(1.0, 15.0, 60.0), duration=600.0, cap=220e3
+    )
+    print_header("Ablation: feedback-loop interval")
+    print(f"{'loop interval (s)':<20} delivered ops by t=600s")
+    for interval, ops in delivered.items():
+        print(f"{interval:<20.0f} {ops / 1e6:.1f}M")
+    values = list(delivered.values())
+    # Slower loops strand capacity: throughput decreases monotonically.
+    assert values[0] > values[-1]

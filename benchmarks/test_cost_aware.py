@@ -1,0 +1,48 @@
+"""Extension bench: cost-aware sharing (the paper's Observation #2).
+
+Two getattr-only jobs vs two rename-only jobs offering identical *op*
+rates.  An op-count allocator sized from the cluster-average mix lets the
+rename jobs (8x cost) overload the MDS; DRF over MDS cost units keeps the
+server healthy while still giving the cheap jobs their full demand.
+"""
+
+from __future__ import annotations
+
+from conftest import print_header
+
+from repro.experiments.cost_aware import JOB_KINDS, run_cost_aware
+
+
+def test_cost_aware_sharing(once):
+    def run_both():
+        return (
+            run_cost_aware("ops-fair", seed=0),
+            run_cost_aware("cost-aware", seed=0),
+        )
+
+    ops_fair, cost_aware = once(run_both)
+    print_header("Cost-aware sharing: ops-fair vs DRF over MDS cost units")
+    for result in (ops_fair, cost_aware):
+        print(f"--- {result.allocator} ---")
+        print(
+            f"  MDS peak queue {result.mds_peak_queue_delay:8.1f} s   "
+            f"degraded: {result.mds_degraded}"
+        )
+        for job_id in JOB_KINDS:
+            print(
+                f"  {job_id:<8} {result.delivered_ops[job_id] / 1e6:6.1f}M ops "
+                f"= {result.consumed_units[job_id] / 1e6:7.1f}M units"
+            )
+
+    # The op-count allocator overloads the MDS; the cost-aware one doesn't.
+    assert ops_fair.mds_degraded
+    assert ops_fair.mds_peak_queue_delay > 60.0
+    assert not cost_aware.mds_degraded
+    assert cost_aware.mds_peak_queue_delay < 1.0
+    # Cost-awareness does not starve the cheap jobs: they get at least as
+    # much as under the overloading allocator.
+    for job in ("light1", "light2"):
+        assert cost_aware.delivered_ops[job] >= ops_fair.delivered_ops[job] * 0.95
+    # Expensive jobs are the ones throttled.
+    for job in ("heavy1", "heavy2"):
+        assert cost_aware.delivered_ops[job] < ops_fair.delivered_ops[job]

@@ -1,0 +1,40 @@
+"""EXP-F1 -- regenerates Fig. 1: 30-day metadata throughput at PFS_A.
+
+Paper series: per-minute aggregate metadata throughput over 30 days.
+Paper numbers: mean ~200 KOps/s, sustained episodes >400 KOps/s lasting
+hours to days, bursts peaking ~1 MOps/s, dips <=50 KOps/s.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import print_header
+
+from repro.analysis.plots import ascii_plot
+from repro.experiments.fig1 import run_fig1
+
+
+def test_fig1_trace_overview(once):
+    result = once(run_fig1, seed=0)
+
+    print_header("Fig. 1: throughput of metadata operations in PFS_A")
+    print(
+        ascii_plot(
+            {"metadata ops/s": result.rates},
+            title="30 days, 1-minute samples",
+            height=10,
+        )
+    )
+    print(f"{'metric':<28} {'paper':<18} measured")
+    for metric, paper, measured in result.paper_rows():
+        print(f"{metric:<28} {paper:<18} {measured}")
+
+    # Paper-shape assertions.
+    assert result.mean_rate == pytest.approx(200e3, rel=0.25), (
+        "mean metadata rate should be ~200 KOps/s"
+    )
+    assert 0.9e6 <= result.peak_rate <= 1.1e6, "bursts should peak ~1 MOps/s"
+    assert result.longest_sustained_hours >= 2.0, (
+        ">400 KOps/s episodes should last hours"
+    )
+    assert result.fraction_below_50k >= 0.05, "volatile dips <=50 KOps/s"

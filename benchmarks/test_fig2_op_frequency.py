@@ -1,0 +1,39 @@
+"""EXP-F2 -- regenerates Fig. 2: type and frequency of metadata operations.
+
+Paper numbers: open/close/getattr/rename carry 98 % of the load; getattr
+totals ~250 billion requests (avg ~95.8 KOps/s); open ~29 KOps/s and
+close ~43.5 KOps/s on average.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import print_header
+
+from repro.experiments.fig2 import TOP4, run_fig2
+
+
+def test_fig2_op_frequency(once):
+    result = once(run_fig2, seed=0)
+
+    print_header("Fig. 2: type and amount of metadata operations in PFS_A")
+    top = max(result.totals.values())
+    for kind, total in sorted(result.totals.items(), key=lambda kv: -kv[1]):
+        bar = "#" * max(1, int(40 * total / top))
+        print(
+            f"  {kind:<10} {bar:<41} {total / 1e9:8.2f} B ops "
+            f"({result.shares[kind] * 100:5.2f}%)"
+        )
+    print(f"{'metric':<28} {'paper':<10} measured")
+    for metric, paper, measured in result.paper_rows():
+        print(f"{metric:<28} {paper:<10} {measured}")
+
+    assert result.top4_share == pytest.approx(0.98, abs=0.01)
+    assert result.mean_rates["getattr"] == pytest.approx(95.8e3, rel=0.3)
+    assert result.mean_rates["open"] == pytest.approx(29e3, rel=0.3)
+    assert result.mean_rates["close"] == pytest.approx(43.5e3, rel=0.3)
+    assert result.totals["getattr"] == pytest.approx(250e9, rel=0.35)
+    # Ordering of the bar chart matches the paper.
+    ranked = sorted(result.totals, key=result.totals.get, reverse=True)
+    assert ranked[0] == "getattr"
+    assert set(ranked[:4]) == set(TOP4)

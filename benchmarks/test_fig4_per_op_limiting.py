@@ -1,0 +1,115 @@
+"""EXP-F4 -- regenerates Fig. 4: per-operation type/class rate limiting.
+
+One benchmark per panel: open, close, getattr, rename (reported by the
+paper as "similar findings"), the metadata class, and the read/write data
+panels.  Each runs baseline / passthrough / padll at paper scale (30-min
+runs; administrator changes the limit every 6 min for metadata, every
+minute for data) and checks the paper's four shapes:
+
+1. padll never exceeds the configured limit (outside the one-loop-interval
+   rule-propagation window after each step change);
+2. padll tracks baseline when the limit exceeds the offered rate;
+3. padll transiently exceeds baseline when draining throttling backlog;
+4. passthrough never deviates from baseline by more than 0.9 %.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from conftest import print_header
+
+from repro.analysis.plots import ascii_plot
+from repro.experiments.fig4 import Fig4Result, run_fig4_data, run_fig4_metadata
+
+#: Seconds after a step change excluded from limit checks (enforcement
+#: happens on the next control-loop iteration, as in a real deployment).
+PROPAGATION = 10.0
+
+
+def check_and_print(result: Fig4Result, unit: str = "ops/s") -> None:
+    print_header(
+        f"Fig. 4 [{result.target}]: limits "
+        + ", ".join(f"{l / 1e3:.1f}K" for l in result.limits)
+    )
+    print(
+        ascii_plot(
+            {name: rates for name, (_, rates) in result.series.items()},
+            title=f"{result.target} throughput ({unit})",
+            height=10,
+        )
+    )
+    times, padll = result.series["padll"]
+    limits = result.limit_series(times)
+    mask = np.ones(len(times), dtype=bool)
+    for k in range(1, len(result.limits)):
+        boundary = k * result.step_period
+        mask &= ~((times >= boundary) & (times < boundary + PROPAGATION))
+
+    # Shape 1: never above the limit.
+    tolerance = limits[mask] * 1.05 + 200.0
+    violations = (padll[mask] > tolerance).sum()
+    print(f"limit violations (outside propagation windows): {violations}")
+    assert violations == 0
+
+    bt, base = result.series["baseline"]
+    n = min(len(base), len(padll))
+
+    # Shape 3: backlog drain makes padll exceed baseline somewhere.
+    assert (padll[:n] > base[:n] + 1.0).any()
+
+    # Shape 4: passthrough within the paper's 0.9 % of baseline.
+    xt, passthrough = result.series["passthrough"]
+    m = min(len(base), len(passthrough))
+    base_total = base[:m].sum()
+    delta = abs(passthrough[:m].sum() - base_total) / base_total
+    print(f"passthrough-vs-baseline delivered delta: {delta * 100:.4f}%")
+    assert delta <= 0.009
+
+    # Everything offered is eventually delivered (conservation).
+    assert padll.sum() == pytest.approx(base.sum(), rel=0.02)
+
+
+@pytest.mark.parametrize("target", ["open", "close", "getattr", "rename"])
+def test_fig4_per_operation_type(once, target):
+    result = once(run_fig4_metadata, target, seed=0)
+    check_and_print(result)
+
+    # Shape 2: in the headroom step (limit > peak), padll tracks baseline.
+    bt, base = result.series["baseline"]
+    pt, padll = result.series["padll"]
+    lo = result.step_period + 80.0  # skip backlog drained from step 0
+    hi = 2 * result.step_period
+    window = (bt >= lo) & (bt < hi)
+    n = min(len(base), len(padll))
+    corr = np.corrcoef(base[:n][window[:n]], padll[:n][window[:n]])[0, 1]
+    print(f"headroom-step tracking correlation: {corr:.3f}")
+    assert corr > 0.9
+
+
+def test_fig4_per_operation_class(once):
+    result = once(run_fig4_metadata, "metadata", seed=0)
+    check_and_print(result)
+
+
+@pytest.mark.parametrize("mode", ["write", "read"])
+def test_fig4_data_operations(once, mode):
+    result = once(run_fig4_data, mode, seed=0)
+    print_header(
+        f"Fig. 4 [{mode}]: data-op limits "
+        + ", ".join(f"{l / 1e3:.2f}K" for l in result.limits)
+    )
+    print(
+        ascii_plot(
+            {name: rates for name, (_, rates) in result.series.items()},
+            title=f"{mode} request throughput (ops/s)",
+            height=10,
+        )
+    )
+    times, padll = result.series["padll"]
+    limits = result.limit_series(times)
+    mask = np.ones(len(times), dtype=bool)
+    for k in range(1, len(result.limits)):
+        boundary = k * result.step_period
+        mask &= ~((times >= boundary) & (times < boundary + PROPAGATION))
+    assert (padll[mask] <= limits[mask] * 1.05 + 50.0).all()

@@ -1,0 +1,42 @@
+"""Extension bench: protecting the MDS from harm (the title's promise).
+
+Not a paper figure -- the authors could not crash the production PFS --
+but the motivating scenario of section I: metadata-aggressive jobs make
+the MDS unresponsive and can fail it.  Four aggressive jobs run against a
+saturable MDS with and without PADLL's cluster-wide cap.
+"""
+
+from __future__ import annotations
+
+from conftest import print_header
+
+from repro.analysis.plots import sparkline
+from repro.experiments.harm import run_harm
+
+
+def test_harm_prevention(once):
+    def run_both():
+        return (
+            run_harm(protected=False, seed=0, duration=7200.0),
+            run_harm(protected=True, seed=0, duration=7200.0),
+        )
+
+    unprotected, protected = once(run_both)
+    print_header("Protecting the MDS from harm (extension experiment)")
+    for result in (unprotected, protected):
+        label = "PADLL-protected" if result.protected else "unprotected"
+        done = sum(1 for v in result.completions.values() if v is not None)
+        _, delays = result.queue_delay_series
+        print(
+            f"{label:<16} MDS failed: {str(result.mds_failed):<6} "
+            f"failovers: {result.failovers}  degraded: "
+            f"{result.degraded_seconds:4.0f}s  served: "
+            f"{result.served_ops / 1e6:6.1f}M ops  jobs done: {done}/4"
+        )
+        print(f"  queue delay: {sparkline(delays, width=60)}")
+
+    assert unprotected.mds_failed, "aggressive load must crash the bare MDS"
+    assert not protected.mds_failed, "PADLL must keep the MDS healthy"
+    assert protected.degraded_seconds == 0.0
+    assert protected.served_ops > 5 * unprotected.served_ops
+    assert all(v is not None for v in protected.completions.values())

@@ -1,0 +1,44 @@
+"""Extension bench: latency isolation via admission control.
+
+Measured on the per-request (discrete-event) MDS: with two aggressors
+offering 1.5x the server's capacity, an innocent light client sees
+multi-second p99 latency; PADLL caps admission below capacity and the
+light client's p99 drops by two orders of magnitude, while the
+aggressors' excess queues at *their own* stages instead of inside the
+shared server.
+"""
+
+from __future__ import annotations
+
+from conftest import print_header
+
+from repro.experiments.latency import run_latency_qos
+
+
+def test_latency_isolation(once):
+    def run_both():
+        return run_latency_qos(False), run_latency_qos(True)
+
+    uncontrolled, controlled = once(run_both)
+    print_header("Latency QoS: uncontrolled vs PADLL-capped (per-request MDS)")
+    for result in (uncontrolled, controlled):
+        label = "padll-capped" if result.controlled else "uncontrolled"
+        print(f"--- {label} ---")
+        for client in sorted(result.latencies):
+            print(
+                f"  {client:<7} n={result.latencies[client].size:<7} "
+                f"mean {result.mean(client) * 1e3:10.2f} ms  "
+                f"p99 {result.percentile(client, 99) * 1e3:10.2f} ms"
+            )
+
+    # Uncontrolled: everyone shares the exploding server queue.
+    assert uncontrolled.percentile("light", 99) > 1.0  # seconds
+    # Controlled: the light client is isolated from the aggressors.
+    assert controlled.percentile("light", 99) < 0.5
+    improvement = (
+        uncontrolled.percentile("light", 99) / controlled.percentile("light", 99)
+    )
+    print(f"light-client p99 improvement: {improvement:.0f}x")
+    assert improvement > 20
+    # The light client also completes everything it asked for.
+    assert controlled.latencies["light"].size > uncontrolled.latencies["light"].size

@@ -1,0 +1,43 @@
+"""EXP-OV -- the paper's interception-overhead claim (section IV-A).
+
+Paper: "the overhead is negligible, never degrading performance more than
+0.9% across all experiments" (passthrough vs baseline).
+
+* The simulated measurement reruns the Fig. 4 workloads under both setups
+  and compares delivered operations -- this is the figure-level claim.
+* The live measurement times the monkey-patch layer over real file
+  metadata operations; absolute overhead is higher than the paper's C++
+  shim (Python wrappers vs PLT hooks), which EXPERIMENTS.md discusses --
+  the assertion here is only that interception cost stays bounded.
+"""
+
+from __future__ import annotations
+
+from conftest import print_header
+
+from repro.experiments.overhead import run_live_overhead, run_sim_overhead
+
+
+def test_overhead_simulated(once):
+    result = once(run_sim_overhead, seed=0)
+    print_header("Overhead (simulated): passthrough vs baseline")
+    print(f"{'workload':<12} {'delta':<10} paper bound")
+    for target, delta in result.delivered_delta.items():
+        print(f"{target:<12} {delta * 100:<10.4f} 0.9%")
+    assert result.worst_delta <= 0.009
+
+
+def test_overhead_live_interposition(once):
+    result = once(run_live_overhead, n_ops=2000, repeats=3)
+    print_header("Overhead (live): monkey-patch interception on tmpfs")
+    print(
+        f"{result.n_ops} metadata ops: baseline "
+        f"{result.baseline_seconds * 1e3:.1f} ms, passthrough "
+        f"{result.passthrough_seconds * 1e3:.1f} ms, overhead "
+        f"{result.relative_overhead * 100:.1f}% "
+        f"({result.per_op_overhead_us:.1f} us/op)"
+    )
+    assert result.baseline_seconds > 0
+    # Python interception costs microseconds per op; require it bounded
+    # (an order of magnitude) rather than the paper's 0.9 % C++ figure.
+    assert result.relative_overhead < 10.0

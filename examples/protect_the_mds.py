@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Protect a metadata server from harm (the paper title, end to end).
+
+Four metadata-aggressive jobs hammer a saturable Lustre-like MDS.
+Without control, the offered load (~2.3x capacity) drives the server
+through degradation into failure; the hot standby takes over and dies
+too, and no job finishes.  With PADLL enforcing a cluster-wide cap via
+proportional sharing, the MDS never even degrades and every job
+completes (slower -- the demand genuinely exceeds the hardware).
+
+Run:  python examples/protect_the_mds.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.plots import sparkline
+from repro.experiments.harm import run_harm
+
+
+def main() -> None:
+    print("running unprotected scenario (expect an MDS crash) ...")
+    unprotected = run_harm(protected=False, seed=0, duration=7200.0)
+    print("running PADLL-protected scenario ...")
+    protected = run_harm(protected=True, seed=0, duration=7200.0)
+
+    for result in (unprotected, protected):
+        label = "PADLL-protected" if result.protected else "unprotected"
+        done = [
+            f"{job}@{v / 60:.0f}min" for job, v in sorted(result.completions.items())
+            if v is not None
+        ]
+        _, delays = result.queue_delay_series
+        print()
+        print(f"--- {label} ---")
+        print(f"MDS failed          : {result.mds_failed}")
+        print(f"standby failovers   : {result.failovers}")
+        print(f"seconds degraded    : {result.degraded_seconds:.0f}")
+        print(f"operations served   : {result.served_ops / 1e6:.1f} M")
+        print(f"jobs completed      : {', '.join(done) if done else 'none'}")
+        print(f"MDS queue delay     : {sparkline(delays, width=64)}")
+
+    assert unprotected.mds_failed and not protected.mds_failed
+    print()
+    print("PADLL kept the metadata server alive under 2.3x overload.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Burstiness metrics.
+
+The paper claims PADLL "prevents I/O burstiness and provides sustained
+metadata performance".  We quantify that with three standard measures on
+a throughput series: the coefficient of variation (std/mean), the
+peak-to-mean ratio, and the fraction of time spent above a burst
+threshold.  All take plain numpy arrays so they work on any series the
+collector produced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["coefficient_of_variation", "peak_to_mean", "burst_fraction"]
+
+
+def _as_series(values) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ConfigError(f"expected a 1-D series, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ConfigError("series is empty")
+    if not np.all(np.isfinite(arr)):
+        raise ConfigError("series contains non-finite values")
+    return arr
+
+
+def coefficient_of_variation(values) -> float:
+    """std/mean of the series; 0 for a perfectly flat (sustained) rate."""
+    arr = _as_series(values)
+    mean = arr.mean()
+    if mean == 0:
+        return 0.0
+    return float(arr.std() / mean)
+
+
+def peak_to_mean(values) -> float:
+    """max/mean of the series; 1 for a flat rate."""
+    arr = _as_series(values)
+    mean = arr.mean()
+    if mean == 0:
+        return 0.0 if arr.max() == 0 else float("inf")
+    return float(arr.max() / mean)
+
+
+def burst_fraction(values, threshold: float) -> float:
+    """Fraction of samples strictly above ``threshold``."""
+    if threshold < 0:
+        raise ConfigError(f"threshold must be >= 0, got {threshold}")
+    arr = _as_series(values)
+    return float((arr > threshold).mean())

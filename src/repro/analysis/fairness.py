@@ -1,0 +1,67 @@
+"""Fairness metrics over per-job allocations.
+
+Jain's index is the standard fairness score (1 = perfectly equal);
+``max_min_ratio`` captures priority spreads; ``reservation_satisfaction``
+scores how well each job's guaranteed rate was honoured -- the property
+the paper's Proportional-sharing setup must uphold.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["jains_index", "max_min_ratio", "reservation_satisfaction"]
+
+
+def _as_alloc(values) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ConfigError("allocations must be a non-empty 1-D sequence")
+    if np.any(arr < 0) or not np.all(np.isfinite(arr)):
+        raise ConfigError("allocations must be finite and non-negative")
+    return arr
+
+
+def jains_index(allocations) -> float:
+    """Jain's fairness index: (sum x)^2 / (n * sum x^2), in (0, 1]."""
+    arr = _as_alloc(allocations)
+    denom = arr.size * float((arr * arr).sum())
+    if denom == 0:
+        return 1.0  # everyone got zero: vacuously fair
+    return float(arr.sum()) ** 2 / denom
+
+
+def max_min_ratio(allocations) -> float:
+    """max/min of the allocations; inf when someone got nothing."""
+    arr = _as_alloc(allocations)
+    lo = arr.min()
+    if lo == 0:
+        return float("inf") if arr.max() > 0 else 1.0
+    return float(arr.max() / lo)
+
+
+def reservation_satisfaction(
+    achieved: Mapping[str, float],
+    reservations: Mapping[str, float],
+    demands: Mapping[str, float],
+) -> dict[str, float]:
+    """Per-job satisfaction of the reservation guarantee.
+
+    A job is entitled to ``min(demand, reservation)``; satisfaction is
+    achieved rate divided by that entitlement, clipped to [0, 1].  Jobs
+    whose entitlement is zero (no demand or no reservation) score 1.
+    """
+    out: dict[str, float] = {}
+    for job, reservation in reservations.items():
+        if reservation < 0:
+            raise ConfigError(f"negative reservation for {job!r}")
+        entitlement = min(demands.get(job, 0.0), reservation)
+        if entitlement <= 0:
+            out[job] = 1.0
+            continue
+        out[job] = min(1.0, max(0.0, achieved.get(job, 0.0)) / entitlement)
+    return out

@@ -1,0 +1,85 @@
+"""Terminal rendering of experiment series.
+
+Every benchmark regenerates a paper figure as text: a unicode sparkline
+for one-liners and a multi-row ASCII plot for full figures, so results
+are inspectable in CI logs without a display server.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["sparkline", "ascii_plot"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, width: Optional[int] = None) -> str:
+    """Render a series as a unicode sparkline, optionally downsampled."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ConfigError("sparkline needs a non-empty 1-D series")
+    if width is not None:
+        if width <= 0:
+            raise ConfigError(f"width must be positive, got {width}")
+        if arr.size > width:
+            # Bucket means preserve the envelope better than striding.
+            edges = np.linspace(0, arr.size, width + 1).astype(int)
+            arr = np.array([arr[a:b].mean() for a, b in zip(edges, edges[1:]) if b > a])
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi == lo:
+        return _BLOCKS[1] * arr.size
+    scaled = (arr - lo) / (hi - lo) * (len(_BLOCKS) - 2)
+    return "".join(_BLOCKS[1 + int(round(v))] for v in scaled)
+
+
+def ascii_plot(
+    series: dict[str, Sequence[float]],
+    width: int = 72,
+    height: int = 12,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render one or more series as a multi-row ASCII chart.
+
+    Each series gets a marker character; overlapping cells show the later
+    series.  The y-axis is shared and annotated with min/max.
+    """
+    if not series:
+        raise ConfigError("ascii_plot needs at least one series")
+    if width <= 0 or height <= 0:
+        raise ConfigError("width and height must be positive")
+    markers = "*o+x#@%&"
+    arrays = {}
+    for name, values in series.items():
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ConfigError(f"series {name!r} must be a non-empty 1-D sequence")
+        arrays[name] = arr
+    hi = max(float(a.max()) for a in arrays.values())
+    lo = min(float(a.min()) for a in arrays.values())
+    if hi == lo:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for (name, arr), marker in zip(arrays.items(), markers):
+        xs = np.linspace(0, arr.size - 1, width).astype(int)
+        for col, idx in enumerate(xs):
+            frac = (float(arr[idx]) - lo) / (hi - lo)
+            row = height - 1 - int(round(frac * (height - 1)))
+            grid[row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{hi:12.4g} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 12 + " │" + "".join(row))
+    lines.append(f"{lo:12.4g} ┤" + "".join(grid[-1]))
+    legend = "  ".join(
+        f"{marker}={name}" for (name, _), marker in zip(arrays.items(), markers)
+    )
+    lines.append(" " * 14 + legend + (f"   [{y_label}]" if y_label else ""))
+    return "\n".join(lines)

@@ -1,0 +1,129 @@
+"""Service-level-objective compliance checks.
+
+PADLL policies translate to SLOs the operator can audit: "job X sustains
+at least R ops/s while it has demand", "p99 metadata latency stays under
+L".  These helpers score a measured series against such objectives,
+window by window, the way an SLO dashboard would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "SLOReport",
+    "throughput_compliance",
+    "latency_compliance",
+    "windowed_compliance",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class SLOReport:
+    """Outcome of one SLO evaluation."""
+
+    objective: str
+    samples: int
+    compliant: int
+
+    @property
+    def fraction(self) -> float:
+        if self.samples == 0:
+            return 1.0  # vacuously met
+        return self.compliant / self.samples
+
+    def met(self, target_fraction: float = 0.99) -> bool:
+        """Whether compliance reaches ``target_fraction`` (an SLA level)."""
+        if not 0 < target_fraction <= 1:
+            raise ConfigError(
+                f"target fraction must be in (0, 1], got {target_fraction}"
+            )
+        return self.fraction >= target_fraction
+
+
+def _series(values) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ConfigError(f"expected a 1-D series, got shape {arr.shape}")
+    if not np.all(np.isfinite(arr)):
+        raise ConfigError("series contains non-finite values")
+    return arr
+
+
+def throughput_compliance(
+    rates, min_rate: float, active_mask=None
+) -> SLOReport:
+    """Fraction of (active) samples at or above ``min_rate``.
+
+    ``active_mask`` restricts scoring to samples where the job actually
+    had demand -- an idle job is not an SLO violation.
+    """
+    if min_rate < 0:
+        raise ConfigError(f"min rate must be >= 0, got {min_rate}")
+    arr = _series(rates)
+    if active_mask is not None:
+        mask = np.asarray(active_mask, dtype=bool)
+        if mask.shape != arr.shape:
+            raise ConfigError("active mask shape mismatch")
+        arr = arr[mask]
+    return SLOReport(
+        objective=f"throughput >= {min_rate:g}",
+        samples=int(arr.size),
+        compliant=int((arr >= min_rate).sum()),
+    )
+
+
+def latency_compliance(latencies, max_latency: float) -> SLOReport:
+    """Fraction of requests completing within ``max_latency`` seconds."""
+    if max_latency <= 0:
+        raise ConfigError(f"max latency must be positive, got {max_latency}")
+    arr = _series(latencies)
+    return SLOReport(
+        objective=f"latency <= {max_latency:g}s",
+        samples=int(arr.size),
+        compliant=int((arr <= max_latency).sum()),
+    )
+
+
+def windowed_compliance(
+    times,
+    values,
+    window: float,
+    threshold: float,
+    mode: str = "min",
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-window pass/fail against a threshold.
+
+    Buckets the series into consecutive ``window``-second windows and
+    marks each compliant when its *mean* satisfies the threshold
+    (``mode="min"``: mean >= threshold; ``mode="max"``: mean <=
+    threshold).  Returns (window start times, boolean compliance).
+    """
+    if window <= 0:
+        raise ConfigError(f"window must be positive, got {window}")
+    if mode not in ("min", "max"):
+        raise ConfigError(f"mode must be 'min' or 'max', got {mode!r}")
+    t = _series(times)
+    v = _series(values)
+    if t.shape != v.shape:
+        raise ConfigError("times and values shape mismatch")
+    if t.size == 0:
+        return np.array([]), np.array([], dtype=bool)
+    start = t[0]
+    buckets = np.floor((t - start) / window).astype(np.int64)
+    n = int(buckets[-1]) + 1
+    sums = np.bincount(buckets, weights=v, minlength=n)
+    counts = np.bincount(buckets, minlength=n)
+    means = np.divide(sums, counts, out=np.zeros_like(sums), where=counts > 0)
+    occupied = counts > 0
+    if mode == "min":
+        ok = means >= threshold
+    else:
+        ok = means <= threshold
+    window_starts = start + np.arange(n) * window
+    return window_starts[occupied], ok[occupied]

@@ -1,0 +1,243 @@
+"""Command-line interface: ``padll-repro``.
+
+Subcommands::
+
+    padll-repro trace generate --kind aggregate --seed 0 --out trace.csv
+    padll-repro trace stats trace.csv
+    padll-repro experiment fig1|fig2|fig4|fig5|overhead|harm|cost-aware
+    padll-repro ablation lag|burst|loop
+
+Each experiment subcommand regenerates the corresponding paper artefact
+and prints it as text (the same rendering the benchmarks use).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="padll-repro",
+        description="PADLL reproduction: metadata QoS experiments and tools.",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    # -- trace ----------------------------------------------------------------
+    trace = sub.add_parser("trace", help="generate or inspect metadata traces")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    gen = trace_sub.add_parser("generate", help="generate a synthetic trace")
+    gen.add_argument(
+        "--kind",
+        choices=("aggregate", "mdt"),
+        default="aggregate",
+        help="aggregate PFS_A load (Figs. 1-2) or the hot-MDT replay trace",
+    )
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument(
+        "--minutes",
+        type=float,
+        default=None,
+        help="trace length in original-log minutes (default: paper scale)",
+    )
+    gen.add_argument(
+        "--out", required=True, help="output path (.csv or .jsonl)"
+    )
+
+    stats = trace_sub.add_parser("stats", help="summarise a trace file")
+    stats.add_argument("path", help="trace file (.csv or .jsonl)")
+
+    # -- experiments --------------------------------------------------------------
+    exp = sub.add_parser("experiment", help="regenerate a paper artefact")
+    exp.add_argument(
+        "name",
+        choices=("fig1", "fig2", "fig4", "fig5", "overhead", "harm", "cost-aware"),
+    )
+    exp.add_argument("--seed", type=int, default=0)
+    exp.add_argument(
+        "--export",
+        metavar="DIR",
+        default=None,
+        help="also write the experiment's series as CSV files under DIR "
+        "(fig4 and fig5 only)",
+    )
+
+    # -- ablations ------------------------------------------------------------------
+    abl = sub.add_parser("ablation", help="run a design-knob sweep")
+    abl.add_argument("name", choices=("lag", "burst", "loop"))
+    abl.add_argument("--seed", type=int, default=0)
+
+    # -- policy configs ----------------------------------------------------------------
+    policy = sub.add_parser("policy", help="validate a PADLL config file")
+    policy_sub = policy.add_subparsers(dest="policy_command", required=True)
+    check = policy_sub.add_parser("check", help="parse and summarise a config")
+    check.add_argument("path", help="JSON configuration file")
+
+    return parser
+
+
+def _cmd_trace_generate(args: argparse.Namespace) -> int:
+    from repro.workloads.abci import generate_aggregate_trace, generate_mdt_trace
+
+    if args.kind == "aggregate":
+        duration = (args.minutes or 30 * 24 * 60) * 60.0
+        trace = generate_aggregate_trace(seed=args.seed, duration=duration)
+    else:
+        duration = (args.minutes or 1800) * 60.0
+        trace = generate_mdt_trace(seed=args.seed, duration=duration)
+    if args.out.endswith(".jsonl"):
+        trace.save_jsonl(args.out)
+    else:
+        trace.save_csv(args.out)
+    print(
+        f"wrote {trace.n_samples} samples x {len(trace.kinds)} kinds to "
+        f"{args.out} (mean {trace.mean_rate() / 1e3:.1f} KOps/s, "
+        f"peak {trace.peak_rate() / 1e3:.1f} KOps/s)"
+    )
+    return 0
+
+
+def _cmd_trace_stats(args: argparse.Namespace) -> int:
+    from repro.analysis.plots import sparkline
+    from repro.workloads.trace import OpTrace
+
+    if args.path.endswith(".jsonl"):
+        trace = OpTrace.load_jsonl(args.path)
+    else:
+        trace = OpTrace.load_csv(args.path)
+    print(f"{args.path}: {trace.n_samples} samples, period {trace.sample_period:.0f}s")
+    print(f"  total rate {sparkline(trace.rates(), width=60)}")
+    print(f"  mean {trace.mean_rate() / 1e3:8.1f} KOps/s   "
+          f"peak {trace.peak_rate() / 1e3:8.1f} KOps/s")
+    shares = trace.shares()
+    for kind in sorted(trace.kinds, key=lambda k: -shares[k]):
+        print(
+            f"  {kind:<10} {shares[kind] * 100:6.2f}%  "
+            f"mean {trace.mean_rate(kind) / 1e3:8.1f} KOps/s"
+        )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    if args.name == "fig1":
+        from repro.experiments.fig1 import main as run
+    elif args.name == "fig2":
+        from repro.experiments.fig2 import main as run
+    elif args.name == "fig4":
+        from repro.experiments.fig4 import main as run
+    elif args.name == "fig5":
+        from repro.experiments.fig5 import main as run
+    elif args.name == "overhead":
+        from repro.experiments.overhead import main as run
+
+        run()
+        return 0
+    elif args.name == "harm":
+        from repro.experiments.harm import main as run
+    else:
+        from repro.experiments.cost_aware import main as run
+    results = run(seed=args.seed)
+    if args.export:
+        _export_results(args.name, results, args.export)
+    return 0
+
+
+def _export_results(name: str, results, directory: str) -> None:
+    from pathlib import Path
+
+    from repro.analysis.export import export_wide
+
+    if name == "fig4":
+        for target, result in results.items():
+            path = export_wide(
+                result.series, Path(directory) / f"fig4-{target}.csv"
+            )
+            print(f"exported {path}")
+    elif name == "fig5":
+        for setup, result in results.items():
+            path = export_wide(
+                result.job_series, Path(directory) / f"fig5-{setup}.csv"
+            )
+            print(f"exported {path}")
+    else:
+        print(f"--export is not supported for {name}", file=sys.stderr)
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    from repro.experiments.ablations import (
+        sweep_burst_size,
+        sweep_control_lag,
+        sweep_loop_interval,
+    )
+
+    if args.name == "lag":
+        for p in sweep_control_lag(seed=args.seed):
+            print(
+                f"latency {p.latency:5.1f}s  violations "
+                f"{p.violation_fraction * 100:5.2f}%  excess "
+                f"{p.excess_ops / 1e3:8.0f}K ops"
+            )
+    elif args.name == "burst":
+        for p in sweep_burst_size(seed=args.seed):
+            print(
+                f"burst {p.burst_seconds:4.1f}s  peak MDS queue "
+                f"{p.peak_queue_delay:7.3f}s  peak/cap {p.peak_over_cap:.2f}"
+            )
+    else:
+        for interval, ops in sweep_loop_interval(seed=args.seed).items():
+            print(f"loop {interval:5.1f}s  delivered {ops / 1e6:8.1f}M ops")
+    return 0
+
+
+def _cmd_policy_check(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigError
+    from repro.core.config import load_config
+
+    try:
+        config = load_config(args.path)
+    except ConfigError as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    print(f"{args.path}: OK")
+    if config.pfs_mounts:
+        print(f"  pfs mounts : {', '.join(config.pfs_mounts)}")
+    for spec in config.channels:
+        print(f"  channel    : {spec.channel_id} (rule {spec.rule.name!r})")
+    for policy in config.policies:
+        scope = policy.scope.job_id or "<all jobs>"
+        print(f"  policy     : {policy.name} -> {policy.scope.channel_id} "
+              f"[{scope}]")
+    if config.algorithm is not None:
+        print(f"  algorithm  : {type(config.algorithm).__name__}")
+        for job, rate in config.reservations.items():
+            print(f"    reservation {job}: {rate:.0f} ops/s")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "trace":
+            if args.trace_command == "generate":
+                return _cmd_trace_generate(args)
+            return _cmd_trace_stats(args)
+        if args.command == "experiment":
+            return _cmd_experiment(args)
+        if args.command == "policy":
+            return _cmd_policy_check(args)
+        return _cmd_ablation(args)
+    except BrokenPipeError:
+        # Output piped into a pager that quit early (e.g. `| head`).
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,170 @@
+"""Enforcement channel: FIFO queue + token bucket + statistics.
+
+This is the PAIO subset PADLL is built on.  Each channel serves one set of
+requests (e.g. "all metadata ops", "open calls", "requests under
+/scratch/foo") at the rate its token bucket allows.  Requests enter via
+:meth:`enqueue`; the stage drains channels once per tick via :meth:`drain`,
+which grants as many queued operations as the bucket (and any downstream
+capacity bound) permits, preserving FIFO order and splitting batches
+exactly at the token boundary.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Optional
+
+from repro.errors import ConfigError
+from repro.core.requests import Request
+from repro.core.token_bucket import TokenBucket, UNLIMITED
+
+__all__ = ["Channel", "ChannelStats"]
+
+
+@dataclass(slots=True)
+class ChannelStats:
+    """Cumulative counters plus a rate window, exported to the control plane."""
+
+    enqueued_ops: float = 0.0
+    granted_ops: float = 0.0
+    #: ops granted since the last collect() -- the control loop's rate signal.
+    window_granted: float = 0.0
+    #: ops enqueued since the last collect() -- the demand signal.
+    window_enqueued: float = 0.0
+    #: Sum of (queue wait * ops) over all grants, for mean-wait reporting.
+    wait_sum: float = 0.0
+    #: Largest queue wait observed by any granted request.
+    wait_max: float = 0.0
+
+    @property
+    def backlog(self) -> float:
+        return self.enqueued_ops - self.granted_ops
+
+    @property
+    def mean_wait(self) -> float:
+        """Mean queueing delay per granted operation (seconds)."""
+        if self.granted_ops == 0:
+            return 0.0
+        return self.wait_sum / self.granted_ops
+
+
+class Channel:
+    """One rate-limited queue inside a data-plane stage."""
+
+    def __init__(
+        self,
+        channel_id: str,
+        rate: float = UNLIMITED,
+        burst: Optional[float] = None,
+        *,
+        now: float = 0.0,
+        integral: bool = False,
+    ) -> None:
+        if not channel_id:
+            raise ConfigError("channel needs an id")
+        self.channel_id = channel_id
+        #: When True, requests are granted whole (never split) -- the
+        #: discrete per-request mode.  Fluid experiment channels leave this
+        #: False and split batches exactly at the token boundary.
+        self.integral = integral
+        self.bucket = TokenBucket(rate, burst, now=now)
+        self._queue: Deque[Request] = deque()
+        self._backlog = 0.0
+        self.stats = ChannelStats()
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def backlog(self) -> float:
+        """Operations enqueued but not yet granted."""
+        return self._backlog
+
+    @property
+    def queue_depth(self) -> int:
+        """Number of queued request records (batches count once)."""
+        return len(self._queue)
+
+    @property
+    def rate(self) -> float:
+        return self.bucket.rate
+
+    # -- control-plane actions ----------------------------------------------
+    def set_rate(self, rate: float, now: float, burst: Optional[float] = None) -> None:
+        """Re-provision this channel's token bucket (rule enforcement)."""
+        self.bucket.set_rate(rate, now, burst)
+
+    # -- data path ---------------------------------------------------------------
+    def enqueue(self, request: Request, now: float) -> None:
+        """Admit ``request`` to the tail of the queue."""
+        request.submitted_at = now
+        self._queue.append(request)
+        self._backlog += request.count
+        self.stats.enqueued_ops += request.count
+        self.stats.window_enqueued += request.count
+
+    def drain(
+        self,
+        now: float,
+        limit: float = math.inf,
+        sink: Optional[Callable[[Request], None]] = None,
+    ) -> float:
+        """Release queued work the bucket allows; return ops granted.
+
+        ``limit`` optionally bounds the grant below the bucket allowance
+        (e.g. downstream file-system capacity).  ``sink`` receives each
+        granted request record (batches may be split so that exactly the
+        granted count flows downstream).
+        """
+        if limit < 0:
+            raise ConfigError(f"drain limit must be >= 0, got {limit}")
+        if not self._queue or limit == 0:
+            self.bucket.refill(now)
+            return 0.0
+        want = max(0.0, min(self._backlog, limit))
+        allowance = self.bucket.consume_available(want, now)
+        granted = 0.0
+        remaining = allowance
+        while remaining > 0 and self._queue:
+            head = self._queue[0]
+            wait = max(0.0, now - head.submitted_at)
+            if head.count <= remaining:
+                self._queue.popleft()
+                remaining -= head.count
+                granted += head.count
+                self.stats.wait_sum += wait * head.count
+                self.stats.wait_max = max(self.stats.wait_max, wait)
+                if sink is not None:
+                    sink(head)
+            elif self.integral:
+                # Whole-request mode: the head does not fit, stop here.
+                break
+            else:
+                taken, rest = head.split(remaining)
+                self._queue[0] = rest
+                granted += taken.count
+                remaining = 0.0
+                self.stats.wait_sum += wait * taken.count
+                self.stats.wait_max = max(self.stats.wait_max, wait)
+                if sink is not None:
+                    sink(taken)
+        # Return unused allowance (from batch-boundary rounding) to the
+        # bucket: the discrete path consumes whole requests only.
+        if remaining > 0:
+            self.bucket._tokens = min(
+                self.bucket.capacity, self.bucket._tokens + remaining
+            )
+        self._backlog -= granted
+        if not self._queue:
+            self._backlog = 0.0  # clamp accumulated float error
+        self.stats.granted_ops += granted
+        self.stats.window_granted += granted
+        return granted
+
+    def collect(self) -> tuple[float, float, float]:
+        """Return and reset the rate window: (granted, enqueued, backlog)."""
+        granted = self.stats.window_granted
+        enqueued = self.stats.window_enqueued
+        self.stats.window_granted = 0.0
+        self.stats.window_enqueued = 0.0
+        return granted, enqueued, self._backlog

@@ -1,0 +1,323 @@
+"""The PADLL control plane.
+
+A logically centralised component with global visibility: stages register
+as they start (reporting job id, host, pid), the control plane groups
+stages by job and runs a feedback loop that
+
+1. **collects** window statistics from every stage over RPC,
+2. **verifies** the installed policies against the current time/state, and
+3. **enforces** new rates -- from explicit policy rules and/or from a
+   cluster-wide allocation algorithm (static, priority, proportional
+   sharing, DRF).
+
+Stages of the same job are orchestrated as one entity: a job-level rate is
+split equally across the job's stages (matching the paper's description of
+distributed jobs with one stage per application instance).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ConfigError, PolicyError, RPCError, StageNotRegistered
+from repro.core.algorithms import AllocationAlgorithm, JobDemand, MIN_RATE
+from repro.core.policies import PolicyRule
+from repro.core.rpc import (
+    CollectStats,
+    EnforceRate,
+    InMemoryFabric,
+    RpcFabric,
+    StageEndpoint,
+)
+from repro.core.stage import DataPlaneStage, StageIdentity, StageStats
+
+__all__ = ["JobInfo", "ControlPlaneConfig", "ControlPlane"]
+
+
+@dataclass(slots=True)
+class JobInfo:
+    """Control-plane bookkeeping for one job."""
+
+    job_id: str
+    stage_ids: List[str] = field(default_factory=list)
+    #: Guaranteed rate used by reservation-based algorithms.
+    reservation: float = 0.0
+    registered_at: float = 0.0
+
+    @property
+    def n_stages(self) -> int:
+        return len(self.stage_ids)
+
+
+@dataclass(slots=True)
+class ControlPlaneConfig:
+    """Loop tuning knobs."""
+
+    #: Feedback-loop period in seconds.
+    loop_interval: float = 1.0
+    #: Channel the cluster-wide algorithm controls (e.g. "metadata").
+    algorithm_channel: str = "metadata"
+    #: Smallest rate ever enforced (token buckets need a positive rate).
+    min_rate: float = MIN_RATE
+    #: Consecutive failed stat collections after which a stage is presumed
+    #: dead and deregistered (its job's share is redistributed).  None
+    #: disables liveness eviction -- a dependability knob from the paper's
+    #: section VI future-work discussion.
+    max_missed_collects: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.loop_interval <= 0:
+            raise ConfigError(
+                f"loop interval must be positive, got {self.loop_interval}"
+            )
+        if self.min_rate <= 0:
+            raise ConfigError(f"min rate must be positive, got {self.min_rate}")
+        if self.max_missed_collects is not None and self.max_missed_collects < 1:
+            raise ConfigError(
+                f"max_missed_collects must be >= 1, got {self.max_missed_collects}"
+            )
+
+
+class ControlPlane:
+    """Global coordinator of all data-plane stages."""
+
+    def __init__(
+        self,
+        fabric: Optional[RpcFabric] = None,
+        config: Optional[ControlPlaneConfig] = None,
+        algorithm: Optional[AllocationAlgorithm] = None,
+        health_probe: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        self.fabric = fabric if fabric is not None else InMemoryFabric()
+        self.config = config or ControlPlaneConfig()
+        self.algorithm = algorithm
+        #: Optional PFS health check.  The control plane has global
+        #: visibility, which includes the storage system itself: while the
+        #: probe reports unhealthy (e.g. MDS failover in progress), the
+        #: loop *pauses* the algorithm channel -- stages hold their
+        #: backlog at the compute nodes instead of feeding a recovery
+        #: storm to the replacement server.
+        self.health_probe = health_probe
+        self.pause_ticks = 0
+        self._stages: Dict[str, StageIdentity] = {}
+        self._jobs: Dict[str, JobInfo] = {}
+        self._policies: Dict[str, PolicyRule] = {}
+        self._last_stats: Dict[str, StageStats] = {}
+        #: (now, job_id, rate) tuples of every algorithm enforcement -- the
+        #: audit trail experiments assert against.
+        self.enforcement_log: List[tuple[float, str, float]] = []
+        self.loop_iterations = 0
+        self.collect_failures = 0
+        self._missed_collects: Dict[str, int] = {}
+        #: Stages evicted by the liveness check: (time, stage_id).
+        self.evictions: List[tuple[float, str]] = []
+
+    # -- registration -------------------------------------------------------
+    def register(
+        self, stage: DataPlaneStage, now: float = 0.0
+    ) -> None:
+        """Register a local stage object (binds an endpoint on the fabric)."""
+        self.register_endpoint(stage.identity, StageEndpoint(stage).handle, now)
+
+    def register_endpoint(
+        self,
+        identity: StageIdentity,
+        handler: Callable[..., object],
+        now: float = 0.0,
+    ) -> None:
+        """Register a stage by identity + RPC handler (remote form)."""
+        if identity.stage_id in self._stages:
+            raise ConfigError(f"stage {identity.stage_id!r} already registered")
+        self.fabric.bind(identity.stage_id, handler)
+        self._stages[identity.stage_id] = identity
+        job = self._jobs.get(identity.job_id)
+        if job is None:
+            job = JobInfo(job_id=identity.job_id, registered_at=now)
+            self._jobs[identity.job_id] = job
+        job.stage_ids.append(identity.stage_id)
+
+    def deregister(self, stage_id: str) -> None:
+        """Remove a stage (job teardown); removes the job when empty."""
+        identity = self._stages.pop(stage_id, None)
+        if identity is None:
+            raise StageNotRegistered(f"stage {stage_id!r} not registered")
+        self.fabric.unbind(stage_id)
+        self._last_stats.pop(stage_id, None)
+        self._missed_collects.pop(stage_id, None)
+        job = self._jobs[identity.job_id]
+        job.stage_ids.remove(stage_id)
+        if not job.stage_ids:
+            del self._jobs[identity.job_id]
+
+    def deregister_job(self, job_id: str) -> None:
+        """Remove every stage of a job."""
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise StageNotRegistered(f"job {job_id!r} not registered")
+        for stage_id in list(job.stage_ids):
+            self.deregister(stage_id)
+
+    @property
+    def jobs(self) -> Dict[str, JobInfo]:
+        return dict(self._jobs)
+
+    @property
+    def stages(self) -> Dict[str, StageIdentity]:
+        return dict(self._stages)
+
+    def set_reservation(self, job_id: str, rate: float) -> None:
+        """Assign a job's guaranteed rate (used by reservation algorithms)."""
+        if rate < 0:
+            raise PolicyError(f"reservation must be >= 0, got {rate}")
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise StageNotRegistered(f"job {job_id!r} not registered")
+        job.reservation = rate
+
+    # -- policies --------------------------------------------------------------
+    def install_policy(self, rule: PolicyRule) -> None:
+        if rule.name in self._policies:
+            raise PolicyError(f"policy {rule.name!r} already installed")
+        self._policies[rule.name] = rule
+
+    def remove_policy(self, name: str) -> None:
+        if name not in self._policies:
+            raise PolicyError(f"no policy named {name!r}")
+        del self._policies[name]
+
+    @property
+    def policies(self) -> Dict[str, PolicyRule]:
+        return dict(self._policies)
+
+    # -- the feedback loop ---------------------------------------------------
+    def tick(self, now: float) -> None:
+        """One control-loop iteration: collect -> verify -> enforce."""
+        self.loop_iterations += 1
+        stats = self._collect(now)
+        if self.health_probe is not None and not self.health_probe():
+            # PFS unhealthy: pause every job's algorithm channel so the
+            # outage backlog queues at the stages, not at the recovering
+            # server.  Explicit admin policies still apply.
+            self.pause_ticks += 1
+            self._enforce_policies(now)
+            for job_id in self._jobs:
+                self._push_job_rate(
+                    job_id, self.config.algorithm_channel,
+                    self.config.min_rate, now,
+                )
+            return
+        self._enforce_policies(now)
+        if self.algorithm is not None:
+            self._enforce_algorithm(now, stats)
+
+    def _collect(self, now: float) -> Dict[str, StageStats]:
+        stats: Dict[str, StageStats] = {}
+        limit = self.config.max_missed_collects
+        for stage_id in list(self._stages):
+            try:
+                result = self.fabric.call(stage_id, CollectStats(now=now))
+            except RPCError:
+                self.collect_failures += 1
+                misses = self._missed_collects.get(stage_id, 0) + 1
+                self._missed_collects[stage_id] = misses
+                if limit is not None and misses >= limit:
+                    # Presumed dead: evict so the job's share is
+                    # redistributed instead of reserved for a ghost.
+                    self.evictions.append((now, stage_id))
+                    self.deregister(stage_id)
+                continue
+            self._missed_collects.pop(stage_id, None)
+            if result is not None:
+                stats[stage_id] = result
+                self._last_stats[stage_id] = result
+        return stats
+
+    def _enforce_policies(self, now: float) -> None:
+        # Resolve conflicts: for each (job, channel) keep the highest-priority
+        # enabled policy (ties: later install wins, matching admin intent of
+        # "the newest instruction applies").
+        winners: Dict[tuple[str, str], PolicyRule] = {}
+        for rule in self._policies.values():
+            if not rule.enabled:
+                continue
+            for job_id in self._jobs:
+                if not rule.scope.applies_to_job(job_id):
+                    continue
+                key = (job_id, rule.scope.channel_id)
+                prev = winners.get(key)
+                if prev is None or rule.priority >= prev.priority:
+                    winners[key] = rule
+        for (job_id, channel_id), rule in winners.items():
+            rate = max(self.config.min_rate, rule.rate_at(now))
+            self._push_job_rate(job_id, channel_id, rate, now, rule.burst)
+
+    def _enforce_algorithm(self, now: float, stats: Dict[str, StageStats]) -> None:
+        demands = self._job_demands(stats)
+        if not demands:
+            return
+        allocation = self.algorithm.allocate(demands)
+        for job_id, rate in allocation.items():
+            rate = max(self.config.min_rate, rate)
+            self.enforcement_log.append((now, job_id, rate))
+            self._push_job_rate(job_id, self.config.algorithm_channel, rate, now)
+
+    def _job_demands(self, stats: Dict[str, StageStats]) -> List[JobDemand]:
+        """Aggregate per-stage windows into per-job demand signals.
+
+        Demand = offered rate over the window plus the backlog's drain
+        desire (backlog / loop interval): a job with queued work wants at
+        least enough rate to clear it within one loop period.
+        """
+        channel = self.config.algorithm_channel
+        per_job_demand: Dict[str, float] = {}
+        for stage_id, st in stats.items():
+            snap = next((c for c in st.channels if c.channel_id == channel), None)
+            if snap is None:
+                continue
+            window = st.window if st.window > 0 else self.config.loop_interval
+            offered = snap.enqueued_ops / window
+            drain = snap.backlog / self.config.loop_interval
+            per_job_demand[st.job_id] = per_job_demand.get(st.job_id, 0.0) + offered + drain
+        return [
+            JobDemand(
+                job_id=job_id,
+                demand=per_job_demand.get(job_id, 0.0),
+                reservation=job.reservation,
+            )
+            for job_id, job in self._jobs.items()
+        ]
+
+    def _push_job_rate(
+        self,
+        job_id: str,
+        channel_id: str,
+        rate: float,
+        now: float,
+        burst: Optional[float] = None,
+    ) -> None:
+        """Split a job-level rate equally across the job's stages and push."""
+        job = self._jobs.get(job_id)
+        if job is None or not job.stage_ids:
+            return
+        per_stage = max(self.config.min_rate, rate / job.n_stages)
+        per_burst = None if burst is None else max(burst / job.n_stages, per_stage)
+        for stage_id in job.stage_ids:
+            try:
+                self.fabric.call(
+                    stage_id,
+                    EnforceRate(
+                        channel_id=channel_id, rate=per_stage, now=now, burst=per_burst
+                    ),
+                )
+            except RPCError:
+                self.collect_failures += 1
+            except ConfigError:
+                # The stage has no such channel: the rule does not apply to
+                # it (e.g. a data-only stage receiving a metadata rule).
+                continue
+
+    # -- convenience -------------------------------------------------------------
+    def last_stats(self, stage_id: str) -> Optional[StageStats]:
+        return self._last_stats.get(stage_id)

@@ -1,0 +1,171 @@
+"""Request differentiation: deciding which channel (if any) handles a request.
+
+PADLL stages must distinguish requests destined to the shared PFS from
+requests to other file systems (xfs scratch, NFS home, ...), and then route
+PFS-bound requests to the enforcement channel matching their attributes
+(operation type, operation class, path prefix, job).  A request matching no
+rule is *passed through* -- submitted to the file system unthrottled --
+which mirrors the paper's behaviour for non-PFS traffic.
+
+Rules are evaluated in priority order (highest first, then insertion
+order), so an administrator can install a specific rule ("open calls to
+/scratch/foo") above a broad one ("all metadata").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.core.requests import OperationClass, OperationType, Request
+
+__all__ = ["Decision", "PASSTHROUGH", "ClassifierRule", "Classifier"]
+
+
+@dataclass(frozen=True, slots=True)
+class Decision:
+    """Outcome of classification: target channel or passthrough."""
+
+    channel_id: Optional[str]
+    rule_name: str = ""
+
+    @property
+    def enforced(self) -> bool:
+        return self.channel_id is not None
+
+
+#: Shared decision object for unmatched requests.
+PASSTHROUGH = Decision(channel_id=None, rule_name="<passthrough>")
+
+
+def _normalise_prefix(prefix: str) -> str:
+    """Normalise a path prefix so '/scratch' matches '/scratch/x' not '/scratchy'."""
+    prefix = prefix.rstrip("/")
+    return prefix or "/"
+
+
+def _path_matches(path: str, prefix: str) -> bool:
+    if prefix == "/":
+        return path.startswith("/")
+    return path == prefix or path.startswith(prefix + "/")
+
+
+@dataclass(slots=True)
+class ClassifierRule:
+    """One differentiation rule.
+
+    Every non-``None`` attribute is a conjunct: the rule matches a request
+    only when all configured attributes match.  An empty conjunct set is
+    rejected -- a rule must constrain *something*.
+    """
+
+    name: str
+    channel_id: str
+    op_types: Optional[frozenset[OperationType]] = None
+    op_classes: Optional[frozenset[OperationClass]] = None
+    path_prefixes: Optional[tuple[str, ...]] = None
+    job_ids: Optional[frozenset[str]] = None
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("classifier rule needs a name")
+        if not self.channel_id:
+            raise ConfigError(f"rule {self.name!r} needs a channel id")
+        if (
+            self.op_types is None
+            and self.op_classes is None
+            and self.path_prefixes is None
+            and self.job_ids is None
+        ):
+            raise ConfigError(f"rule {self.name!r} constrains nothing")
+        if self.op_types is not None:
+            object.__setattr__(self, "op_types", frozenset(self.op_types))
+        if self.op_classes is not None:
+            object.__setattr__(self, "op_classes", frozenset(self.op_classes))
+        if self.path_prefixes is not None:
+            prefixes = tuple(_normalise_prefix(p) for p in self.path_prefixes)
+            if not prefixes:
+                raise ConfigError(f"rule {self.name!r} has an empty prefix list")
+            object.__setattr__(self, "path_prefixes", prefixes)
+        if self.job_ids is not None:
+            object.__setattr__(self, "job_ids", frozenset(self.job_ids))
+
+    def matches(self, request: Request) -> bool:
+        if self.op_types is not None and request.op not in self.op_types:
+            return False
+        if self.op_classes is not None and request.op_class not in self.op_classes:
+            return False
+        if self.job_ids is not None and request.job_id not in self.job_ids:
+            return False
+        if self.path_prefixes is not None and not any(
+            _path_matches(request.path, p) for p in self.path_prefixes
+        ):
+            return False
+        return True
+
+
+class Classifier:
+    """Ordered rule table with an optional PFS mount filter.
+
+    When ``pfs_mounts`` is given, any request whose path falls outside every
+    mount is passed through *before* rule evaluation -- the paper's
+    "requests submitted to POSIX file systems other than the PFS" case.
+    Requests with an empty path (e.g. fd-only calls whose path is unknown)
+    are treated as PFS-bound, the conservative choice.
+    """
+
+    def __init__(
+        self,
+        rules: Iterable[ClassifierRule] = (),
+        pfs_mounts: Optional[Sequence[str]] = None,
+    ) -> None:
+        self._rules: list[ClassifierRule] = []
+        self._mounts: Optional[tuple[str, ...]] = None
+        if pfs_mounts is not None:
+            self._mounts = tuple(_normalise_prefix(m) for m in pfs_mounts)
+            if not self._mounts:
+                raise ConfigError("pfs_mounts must not be empty when given")
+        for rule in rules:
+            self.add_rule(rule)
+
+    @property
+    def rules(self) -> tuple[ClassifierRule, ...]:
+        """Rules in evaluation order."""
+        return tuple(self._rules)
+
+    @property
+    def pfs_mounts(self) -> Optional[tuple[str, ...]]:
+        return self._mounts
+
+    def add_rule(self, rule: ClassifierRule) -> None:
+        """Insert a rule, keeping the table sorted by descending priority.
+
+        Insertion among equal priorities is stable (earlier installs win).
+        """
+        if any(r.name == rule.name for r in self._rules):
+            raise ConfigError(f"duplicate rule name {rule.name!r}")
+        idx = len(self._rules)
+        for i, existing in enumerate(self._rules):
+            if existing.priority < rule.priority:
+                idx = i
+                break
+        self._rules.insert(idx, rule)
+
+    def remove_rule(self, name: str) -> None:
+        for i, rule in enumerate(self._rules):
+            if rule.name == name:
+                del self._rules[i]
+                return
+        raise ConfigError(f"no rule named {name!r}")
+
+    def classify(self, request: Request) -> Decision:
+        """Return the decision for ``request`` (first matching rule wins)."""
+        if self._mounts is not None and request.path:
+            if not any(_path_matches(request.path, m) for m in self._mounts):
+                return PASSTHROUGH
+        for rule in self._rules:
+            if rule.matches(request):
+                return Decision(channel_id=rule.channel_id, rule_name=rule.name)
+        return PASSTHROUGH

@@ -1,0 +1,219 @@
+"""POSIX request model: operation types, classes, and the request record.
+
+The PADLL prototype re-implements 42 POSIX calls spanning four operation
+classes (data, metadata, extended attributes, directory management).  We
+reproduce exactly that surface: :data:`POSIX_SURFACE` lists the 42 calls,
+each mapped to its class and to the *MDS operation kind* it induces at the
+metadata server (the 11 kinds LustrePerfMon reports in the paper's trace
+study, plus ``read``/``write`` for the data path).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = [
+    "OperationClass",
+    "OperationType",
+    "Request",
+    "POSIX_SURFACE",
+    "MDS_OP_KINDS",
+    "mds_kind",
+    "op_class",
+]
+
+
+class OperationClass(enum.Enum):
+    """The four operation classes PADLL differentiates on."""
+
+    DATA = "data"
+    METADATA = "metadata"
+    EXTENDED_ATTRIBUTES = "ext_attr"
+    DIRECTORY_MANAGEMENT = "dir_mgmt"
+
+
+class OperationType(enum.Enum):
+    """The 42 POSIX calls the PADLL data plane intercepts."""
+
+    # -- data (8) ----------------------------------------------------------
+    READ = "read"
+    WRITE = "write"
+    PREAD = "pread"
+    PWRITE = "pwrite"
+    READV = "readv"
+    WRITEV = "writev"
+    LSEEK = "lseek"
+    FSYNC = "fsync"
+    # -- metadata (14) -----------------------------------------------------
+    OPEN = "open"
+    OPEN64 = "open64"
+    CREAT = "creat"
+    CLOSE = "close"
+    STAT = "stat"
+    LSTAT = "lstat"
+    FSTAT = "fstat"
+    RENAME = "rename"
+    UNLINK = "unlink"
+    LINK = "link"
+    CHMOD = "chmod"
+    CHOWN = "chown"
+    TRUNCATE = "truncate"
+    STATFS = "statfs"
+    # -- directory management (8) -------------------------------------------
+    MKDIR = "mkdir"
+    MKNOD = "mknod"
+    RMDIR = "rmdir"
+    OPENDIR = "opendir"
+    READDIR = "readdir"
+    CLOSEDIR = "closedir"
+    SYNC = "sync"
+    RENAMEAT = "renameat"
+    # -- extended attributes (12) --------------------------------------------
+    GETXATTR = "getxattr"
+    LGETXATTR = "lgetxattr"
+    FGETXATTR = "fgetxattr"
+    SETXATTR = "setxattr"
+    LSETXATTR = "lsetxattr"
+    FSETXATTR = "fsetxattr"
+    LISTXATTR = "listxattr"
+    LLISTXATTR = "llistxattr"
+    FLISTXATTR = "flistxattr"
+    REMOVEXATTR = "removexattr"
+    LREMOVEXATTR = "lremovexattr"
+    FREMOVEXATTR = "fremovexattr"
+
+
+#: op type -> (operation class, MDS operation kind or None for pure data ops
+#: serviced by OSSs).
+_SURFACE: dict[OperationType, tuple[OperationClass, Optional[str]]] = {
+    # data ops hit OSSs; lseek is client-local but still interceptable.
+    OperationType.READ: (OperationClass.DATA, "read"),
+    OperationType.WRITE: (OperationClass.DATA, "write"),
+    OperationType.PREAD: (OperationClass.DATA, "read"),
+    OperationType.PWRITE: (OperationClass.DATA, "write"),
+    OperationType.READV: (OperationClass.DATA, "read"),
+    OperationType.WRITEV: (OperationClass.DATA, "write"),
+    OperationType.LSEEK: (OperationClass.DATA, None),
+    OperationType.FSYNC: (OperationClass.DATA, "sync"),
+    # metadata ops hit the MDS.
+    OperationType.OPEN: (OperationClass.METADATA, "open"),
+    OperationType.OPEN64: (OperationClass.METADATA, "open"),
+    OperationType.CREAT: (OperationClass.METADATA, "open"),
+    OperationType.CLOSE: (OperationClass.METADATA, "close"),
+    OperationType.STAT: (OperationClass.METADATA, "getattr"),
+    OperationType.LSTAT: (OperationClass.METADATA, "getattr"),
+    OperationType.FSTAT: (OperationClass.METADATA, "getattr"),
+    OperationType.RENAME: (OperationClass.METADATA, "rename"),
+    OperationType.UNLINK: (OperationClass.METADATA, "unlink"),
+    OperationType.LINK: (OperationClass.METADATA, "link"),
+    OperationType.CHMOD: (OperationClass.METADATA, "setattr"),
+    OperationType.CHOWN: (OperationClass.METADATA, "setattr"),
+    OperationType.TRUNCATE: (OperationClass.METADATA, "setattr"),
+    OperationType.STATFS: (OperationClass.METADATA, "statfs"),
+    # directory management.
+    OperationType.MKDIR: (OperationClass.DIRECTORY_MANAGEMENT, "mkdir"),
+    OperationType.MKNOD: (OperationClass.DIRECTORY_MANAGEMENT, "mknod"),
+    OperationType.RMDIR: (OperationClass.DIRECTORY_MANAGEMENT, "rmdir"),
+    OperationType.OPENDIR: (OperationClass.DIRECTORY_MANAGEMENT, "open"),
+    OperationType.READDIR: (OperationClass.DIRECTORY_MANAGEMENT, "getattr"),
+    OperationType.CLOSEDIR: (OperationClass.DIRECTORY_MANAGEMENT, "close"),
+    OperationType.SYNC: (OperationClass.DIRECTORY_MANAGEMENT, "sync"),
+    OperationType.RENAMEAT: (OperationClass.DIRECTORY_MANAGEMENT, "rename"),
+    # extended attributes all resolve to getattr/setattr-style MDS work.
+    OperationType.GETXATTR: (OperationClass.EXTENDED_ATTRIBUTES, "getattr"),
+    OperationType.LGETXATTR: (OperationClass.EXTENDED_ATTRIBUTES, "getattr"),
+    OperationType.FGETXATTR: (OperationClass.EXTENDED_ATTRIBUTES, "getattr"),
+    OperationType.SETXATTR: (OperationClass.EXTENDED_ATTRIBUTES, "setattr"),
+    OperationType.LSETXATTR: (OperationClass.EXTENDED_ATTRIBUTES, "setattr"),
+    OperationType.FSETXATTR: (OperationClass.EXTENDED_ATTRIBUTES, "setattr"),
+    OperationType.LISTXATTR: (OperationClass.EXTENDED_ATTRIBUTES, "getattr"),
+    OperationType.LLISTXATTR: (OperationClass.EXTENDED_ATTRIBUTES, "getattr"),
+    OperationType.FLISTXATTR: (OperationClass.EXTENDED_ATTRIBUTES, "getattr"),
+    OperationType.REMOVEXATTR: (OperationClass.EXTENDED_ATTRIBUTES, "setattr"),
+    OperationType.LREMOVEXATTR: (OperationClass.EXTENDED_ATTRIBUTES, "setattr"),
+    OperationType.FREMOVEXATTR: (OperationClass.EXTENDED_ATTRIBUTES, "setattr"),
+}
+
+#: Read-only view of the whole intercepted surface.
+POSIX_SURFACE = dict(_SURFACE)
+
+#: The MDS operation kinds LustrePerfMon reports (paper section II-A), in the
+#: paper's order, plus the data-path kinds.
+MDS_OP_KINDS: tuple[str, ...] = (
+    "open",
+    "close",
+    "getattr",
+    "setattr",
+    "rename",
+    "mkdir",
+    "mknod",
+    "rmdir",
+    "statfs",
+    "sync",
+    "unlink",
+    "link",
+    "read",
+    "write",
+)
+
+
+def op_class(op: OperationType) -> OperationClass:
+    """Operation class of a POSIX call."""
+    return _SURFACE[op][0]
+
+
+def mds_kind(op: OperationType) -> Optional[str]:
+    """MDS operation kind induced by a POSIX call (None = client-local)."""
+    return _SURFACE[op][1]
+
+
+@dataclass(slots=True)
+class Request:
+    """One intercepted POSIX request (or a fluid batch of identical ones).
+
+    ``count`` is the number of operations this record represents.  The
+    discrete path always uses ``count=1``; the fluid experiment path submits
+    per-tick batches with large (possibly fractional) counts -- token-bucket
+    arithmetic is linear in the count, so batching is exact.
+    """
+
+    op: OperationType
+    path: str = ""
+    job_id: str = ""
+    count: float = 1.0
+    size: int = 0
+    pid: int = 0
+    tenant: str = ""
+    submitted_at: float = field(default=0.0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ValueError(f"request count must be positive, got {self.count}")
+        if self.size < 0:
+            raise ValueError(f"request size must be >= 0, got {self.size}")
+
+    @property
+    def op_class(self) -> OperationClass:
+        return op_class(self.op)
+
+    @property
+    def mds_kind(self) -> Optional[str]:
+        return mds_kind(self.op)
+
+    def split(self, first: float) -> tuple["Request", "Request"]:
+        """Split a batch into (granted, remainder) sub-batches."""
+        if not 0 < first < self.count:
+            raise ValueError(f"cannot split count={self.count} at {first}")
+        head = Request(
+            op=self.op, path=self.path, job_id=self.job_id, count=first,
+            size=self.size, pid=self.pid, tenant=self.tenant,
+            submitted_at=self.submitted_at,
+        )
+        tail = Request(
+            op=self.op, path=self.path, job_id=self.job_id,
+            count=self.count - first, size=self.size, pid=self.pid,
+            tenant=self.tenant, submitted_at=self.submitted_at,
+        )
+        return head, tail

@@ -1,0 +1,277 @@
+"""RPC fabric between the control plane and data-plane stages.
+
+The paper uses gRPC; what the control loop actually needs is ordered
+request/response messaging with three verbs -- register, collect
+statistics, enforce rule -- plus failure visibility.  We model that with
+typed messages over a pluggable fabric:
+
+* :class:`InMemoryFabric` dispatches synchronously (same process), with
+  optional fault injection (message loss -> :class:`~repro.errors.RPCError`)
+  and latency accounting, used by every experiment;
+* :class:`SimFabric` delivers through the discrete-event engine with real
+  simulated latency, used to study control-plane lag (a section VI
+  "dependability" extension).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import RPCError, StageNotRegistered
+from repro.core.differentiation import ClassifierRule
+from repro.core.stage import DataPlaneStage, StageIdentity, StageStats
+
+__all__ = [
+    "RpcMessage",
+    "Ping",
+    "CollectStats",
+    "EnforceRate",
+    "CreateChannel",
+    "InstallRule",
+    "RemoveRule",
+    "RemoveChannel",
+    "RpcFabric",
+    "InMemoryFabric",
+    "SimFabric",
+    "DelayedEnforceFabric",
+    "StageEndpoint",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class RpcMessage:
+    """Base class for control-plane -> stage messages."""
+
+
+@dataclass(frozen=True, slots=True)
+class Ping(RpcMessage):
+    """Liveness probe; a healthy endpoint echoes the payload."""
+
+    payload: Any = None
+
+
+@dataclass(frozen=True, slots=True)
+class CollectStats(RpcMessage):
+    """Ask the stage for its window statistics."""
+
+    now: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class EnforceRate(RpcMessage):
+    """Provision one enforcement channel with a new rate."""
+
+    channel_id: str
+    rate: float
+    now: float
+    burst: Optional[float] = None
+
+
+@dataclass(frozen=True, slots=True)
+class CreateChannel(RpcMessage):
+    """Create an enforcement channel on the stage."""
+
+    channel_id: str
+    rate: float
+    now: float
+    burst: Optional[float] = None
+
+
+@dataclass(frozen=True, slots=True)
+class InstallRule(RpcMessage):
+    """Install a differentiation rule on the stage."""
+
+    rule: ClassifierRule
+
+
+@dataclass(frozen=True, slots=True)
+class RemoveRule(RpcMessage):
+    """Remove a differentiation rule from the stage."""
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class RemoveChannel(RpcMessage):
+    """Tear down an enforcement channel (refused while it holds backlog)."""
+
+    channel_id: str
+
+
+class StageEndpoint:
+    """Server-side adapter: dispatches RPC messages onto a stage."""
+
+    def __init__(self, stage: DataPlaneStage) -> None:
+        self.stage = stage
+
+    def handle(self, message: RpcMessage) -> Any:
+        if isinstance(message, Ping):
+            return message.payload
+        if isinstance(message, CollectStats):
+            return self.stage.collect(message.now)
+        if isinstance(message, EnforceRate):
+            self.stage.set_channel_rate(
+                message.channel_id, message.rate, message.now, message.burst
+            )
+            return True
+        if isinstance(message, CreateChannel):
+            self.stage.create_channel(
+                message.channel_id, message.rate, message.burst, now=message.now
+            )
+            return True
+        if isinstance(message, InstallRule):
+            self.stage.add_classifier_rule(message.rule)
+            return True
+        if isinstance(message, RemoveRule):
+            self.stage.remove_classifier_rule(message.name)
+            return True
+        if isinstance(message, RemoveChannel):
+            self.stage.remove_channel(message.channel_id)
+            return True
+        raise RPCError(f"unhandled message type {type(message).__name__}")
+
+
+class RpcFabric:
+    """Address -> handler registry with a synchronous ``call`` verb."""
+
+    def bind(self, address: str, handler: Callable[[RpcMessage], Any]) -> None:
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def unbind(self, address: str) -> None:
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def call(self, address: str, message: RpcMessage) -> Any:
+        raise NotImplementedError  # pragma: no cover - interface
+
+
+class InMemoryFabric(RpcFabric):
+    """Synchronous in-process fabric with fault injection.
+
+    ``drop_fn(address, message) -> bool`` simulates message loss: a dropped
+    call raises :class:`RPCError`, which the control plane must tolerate
+    (it skips the stage for that loop iteration).
+    """
+
+    def __init__(
+        self, drop_fn: Optional[Callable[[str, RpcMessage], bool]] = None
+    ) -> None:
+        self._handlers: Dict[str, Callable[[RpcMessage], Any]] = {}
+        self._drop_fn = drop_fn
+        self.calls = 0
+        self.dropped = 0
+
+    def bind(self, address: str, handler: Callable[[RpcMessage], Any]) -> None:
+        if address in self._handlers:
+            raise RPCError(f"address {address!r} already bound")
+        self._handlers[address] = handler
+
+    def unbind(self, address: str) -> None:
+        if address not in self._handlers:
+            raise StageNotRegistered(f"address {address!r} not bound")
+        del self._handlers[address]
+
+    def call(self, address: str, message: RpcMessage) -> Any:
+        handler = self._handlers.get(address)
+        if handler is None:
+            raise StageNotRegistered(f"address {address!r} not bound")
+        self.calls += 1
+        if self._drop_fn is not None and self._drop_fn(address, message):
+            self.dropped += 1
+            raise RPCError(f"message to {address!r} dropped")
+        return handler(message)
+
+
+class SimFabric(RpcFabric):
+    """Event-driven fabric with simulated network latency.
+
+    ``call`` here is *fire-and-forget with deferred effect*: the message is
+    applied to the endpoint ``latency`` simulated seconds later, and the
+    call returns None immediately.  Stat collection under latency uses
+    :meth:`call_async`, which returns an Event carrying the response.
+    """
+
+    def __init__(self, env, latency: float = 0.0) -> None:
+        if latency < 0:
+            raise RPCError(f"latency must be >= 0, got {latency}")
+        self.env = env
+        self.latency = float(latency)
+        self._handlers: Dict[str, Callable[[RpcMessage], Any]] = {}
+        self.calls = 0
+
+    def bind(self, address: str, handler: Callable[[RpcMessage], Any]) -> None:
+        if address in self._handlers:
+            raise RPCError(f"address {address!r} already bound")
+        self._handlers[address] = handler
+
+    def unbind(self, address: str) -> None:
+        if address not in self._handlers:
+            raise StageNotRegistered(f"address {address!r} not bound")
+        del self._handlers[address]
+
+    def call(self, address: str, message: RpcMessage) -> Any:
+        self.call_async(address, message)
+        return None
+
+    def call_async(self, address: str, message: RpcMessage):
+        handler = self._handlers.get(address)
+        if handler is None:
+            raise StageNotRegistered(f"address {address!r} not bound")
+        self.calls += 1
+        done = self.env.event()
+
+        def deliver() -> None:
+            try:
+                done.succeed(handler(message))
+            except Exception as exc:  # surface endpoint errors to the waiter
+                done.fail(RPCError(str(exc)))
+
+        self.env.call_at(self.env.now + self.latency, deliver)
+        return done
+
+
+class DelayedEnforceFabric(RpcFabric):
+    """In-process fabric that delays *enforcement* by a network latency.
+
+    Statistics collection stays synchronous (the loop needs an answer to
+    compute with), but :class:`EnforceRate` / :class:`CreateChannel` /
+    :class:`InstallRule` messages take effect ``latency`` simulated seconds
+    later -- the control-plane-lag model the section-VI scalability
+    discussion asks about.  Used by the control-lag ablation benchmark.
+    """
+
+    def __init__(self, env, latency: float) -> None:
+        if latency < 0:
+            raise RPCError(f"latency must be >= 0, got {latency}")
+        self.env = env
+        self.latency = float(latency)
+        self._inner = InMemoryFabric()
+        self.deferred = 0
+
+    def bind(self, address: str, handler: Callable[[RpcMessage], Any]) -> None:
+        self._inner.bind(address, handler)
+
+    def unbind(self, address: str) -> None:
+        self._inner.unbind(address)
+
+    def call(self, address: str, message: RpcMessage) -> Any:
+        if self.latency == 0 or isinstance(message, (CollectStats, Ping)):
+            return self._inner.call(address, message)
+        self.deferred += 1
+
+        def deliver() -> None:
+            msg = message
+            # Timestamps inside the message refer to the sender's clock;
+            # the receiver applies the rule at *arrival* time (a token
+            # bucket cannot refill into the past).
+            if isinstance(msg, (EnforceRate, CreateChannel)):
+                msg = replace(msg, now=self.env.now)
+            try:
+                self._inner.call(address, msg)
+            except StageNotRegistered:
+                # The stage deregistered while the message was in flight;
+                # a real network drops such messages silently.
+                pass
+
+        self.env.call_at(self.env.now + self.latency, deliver)
+        return True

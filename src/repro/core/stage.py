@@ -1,0 +1,262 @@
+"""Data-plane stage: the per-node interception point.
+
+A stage sits between one application instance and the file-system client.
+Every intercepted POSIX request is classified; matched requests queue in
+the stage's enforcement channels and are released downstream at the rate
+the control plane provisioned; unmatched requests pass straight through.
+
+The stage is clock-agnostic: callers provide ``now`` (simulated seconds in
+the experiments, wall-clock in the live interposition layer) and call
+:meth:`drain` periodically to release throttled work.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Optional
+
+from repro.errors import ConfigError
+from repro.core.channel import Channel
+from repro.core.differentiation import Classifier, ClassifierRule, Decision
+from repro.core.requests import Request
+from repro.core.token_bucket import UNLIMITED
+
+__all__ = ["StageIdentity", "StageConfig", "ChannelSnapshot", "StageStats", "DataPlaneStage"]
+
+
+@dataclass(frozen=True, slots=True)
+class StageIdentity:
+    """What a stage reports to the control plane when it registers.
+
+    The control plane groups stages sharing a ``job_id`` and orchestrates
+    them as a single job (paper section III-B).
+    """
+
+    stage_id: str
+    job_id: str
+    hostname: str = "localhost"
+    pid: int = 0
+    user: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.stage_id:
+            raise ConfigError("stage needs an id")
+        if not self.job_id:
+            raise ConfigError(f"stage {self.stage_id!r} needs a job id")
+
+
+@dataclass(slots=True)
+class StageConfig:
+    """Static stage configuration.
+
+    ``pfs_mounts`` enables mount-point differentiation (non-PFS paths pass
+    through untouched).  ``integral`` selects whole-request grants for the
+    discrete path.
+    """
+
+    pfs_mounts: Optional[tuple[str, ...]] = None
+    integral: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class ChannelSnapshot:
+    """Per-channel statistics for one collection window."""
+
+    channel_id: str
+    granted_ops: float
+    enqueued_ops: float
+    backlog: float
+    rate_limit: float
+    #: Mean queueing delay of every grant so far (cumulative; seconds).
+    mean_wait: float = 0.0
+    #: Worst queueing delay any grant has seen so far (seconds).
+    max_wait: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class StageStats:
+    """One stage's report to the control plane's feedback loop."""
+
+    stage_id: str
+    job_id: str
+    timestamp: float
+    window: float
+    channels: tuple[ChannelSnapshot, ...]
+    passthrough_ops: float
+
+    def demand_rate(self, channel_id: Optional[str] = None) -> float:
+        """Enqueued ops/s over the window (the job's offered load)."""
+        if self.window <= 0:
+            return 0.0
+        total = sum(
+            c.enqueued_ops for c in self.channels
+            if channel_id is None or c.channel_id == channel_id
+        )
+        return total / self.window
+
+    def granted_rate(self, channel_id: Optional[str] = None) -> float:
+        """Granted ops/s over the window (the job's achieved throughput)."""
+        if self.window <= 0:
+            return 0.0
+        total = sum(
+            c.granted_ops for c in self.channels
+            if channel_id is None or c.channel_id == channel_id
+        )
+        return total / self.window
+
+    def backlog(self, channel_id: Optional[str] = None) -> float:
+        return sum(
+            c.backlog for c in self.channels
+            if channel_id is None or c.channel_id == channel_id
+        )
+
+
+class DataPlaneStage:
+    """One PADLL stage: classifier + enforcement channels + downstream sink."""
+
+    def __init__(
+        self,
+        identity: StageIdentity,
+        sink: Callable[[Request], None],
+        config: Optional[StageConfig] = None,
+    ) -> None:
+        self.identity = identity
+        self.config = config or StageConfig()
+        self._sink = sink
+        self.classifier = Classifier(pfs_mounts=self.config.pfs_mounts)
+        self._channels: Dict[str, Channel] = {}
+        self._passthrough_window = 0.0
+        self._passthrough_total = 0.0
+        self._last_collect = 0.0
+
+    # -- channel management (control-plane driven) ---------------------------
+    @property
+    def channels(self) -> Dict[str, Channel]:
+        return dict(self._channels)
+
+    def create_channel(
+        self,
+        channel_id: str,
+        rate: float = UNLIMITED,
+        burst: Optional[float] = None,
+        *,
+        now: float = 0.0,
+    ) -> Channel:
+        """Create an enforcement channel (error if the id exists)."""
+        if channel_id in self._channels:
+            raise ConfigError(f"channel {channel_id!r} already exists")
+        channel = Channel(
+            channel_id, rate, burst, now=now, integral=self.config.integral
+        )
+        self._channels[channel_id] = channel
+        return channel
+
+    def remove_channel(self, channel_id: str) -> None:
+        """Remove a channel; refuses while requests are still queued."""
+        channel = self._channel(channel_id)
+        if channel.backlog > 0:
+            raise ConfigError(
+                f"channel {channel_id!r} still holds {channel.backlog} queued ops"
+            )
+        del self._channels[channel_id]
+
+    def set_channel_rate(
+        self, channel_id: str, rate: float, now: float, burst: Optional[float] = None
+    ) -> None:
+        """Apply a control-plane rate rule to one channel."""
+        self._channel(channel_id).set_rate(rate, now, burst)
+
+    def channel_rate(self, channel_id: str) -> float:
+        return self._channel(channel_id).rate
+
+    def add_classifier_rule(self, rule: ClassifierRule) -> None:
+        """Install a differentiation rule; its channel must already exist."""
+        if rule.channel_id not in self._channels:
+            raise ConfigError(
+                f"rule {rule.name!r} targets unknown channel {rule.channel_id!r}"
+            )
+        self.classifier.add_rule(rule)
+
+    def remove_classifier_rule(self, name: str) -> None:
+        self.classifier.remove_rule(name)
+
+    def _channel(self, channel_id: str) -> Channel:
+        try:
+            return self._channels[channel_id]
+        except KeyError:
+            raise ConfigError(f"no channel {channel_id!r} in stage "
+                              f"{self.identity.stage_id!r}") from None
+
+    # -- data path -------------------------------------------------------------
+    def submit(self, request: Request, now: float) -> Decision:
+        """Intercept one request: classify, then enqueue or pass through."""
+        request.job_id = request.job_id or self.identity.job_id
+        decision = self.classifier.classify(request)
+        if decision.enforced:
+            assert decision.channel_id is not None
+            self._channel(decision.channel_id).enqueue(request, now)
+        else:
+            self._passthrough_window += request.count
+            self._passthrough_total += request.count
+            self._sink(request)
+        return decision
+
+    def drain(self, now: float, limit: float = math.inf) -> float:
+        """Release throttled work downstream; return total ops granted.
+
+        ``limit`` caps the aggregate grant across channels this call
+        (downstream capacity).  Channels are drained in creation order;
+        a round-robin refinement is unnecessary because per-channel buckets
+        already bound each channel's share.
+        """
+        total = 0.0
+        remaining = limit
+        for channel in self._channels.values():
+            if remaining <= 0:
+                # Still refill the bucket so allowance accrues correctly.
+                channel.bucket.refill(now)
+                continue
+            granted = channel.drain(now, remaining, self._sink)
+            total += granted
+            remaining -= granted
+        return total
+
+    # -- monitoring -------------------------------------------------------------
+    def backlog(self, channel_id: Optional[str] = None) -> float:
+        if channel_id is not None:
+            return self._channel(channel_id).backlog
+        return sum(c.backlog for c in self._channels.values())
+
+    @property
+    def passthrough_total(self) -> float:
+        return self._passthrough_total
+
+    def collect(self, now: float) -> StageStats:
+        """Export and reset window statistics (control-plane heartbeat)."""
+        window = now - self._last_collect
+        snapshots = []
+        for channel in self._channels.values():
+            granted, enqueued, backlog = channel.collect()
+            snapshots.append(
+                ChannelSnapshot(
+                    channel_id=channel.channel_id,
+                    granted_ops=granted,
+                    enqueued_ops=enqueued,
+                    backlog=backlog,
+                    rate_limit=channel.rate,
+                    mean_wait=channel.stats.mean_wait,
+                    max_wait=channel.stats.wait_max,
+                )
+            )
+        passthrough = self._passthrough_window
+        self._passthrough_window = 0.0
+        self._last_collect = now
+        return StageStats(
+            stage_id=self.identity.stage_id,
+            job_id=self.identity.job_id,
+            timestamp=now,
+            window=window,
+            channels=tuple(snapshots),
+            passthrough_ops=passthrough,
+        )

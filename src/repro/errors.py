@@ -1,0 +1,101 @@
+"""Exception hierarchy shared across the PADLL reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so
+callers can catch package failures with a single ``except`` clause while
+still distinguishing the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "ProcessKilled",
+    "PFSError",
+    "NamespaceError",
+    "NoSuchEntry",
+    "EntryExists",
+    "NotADirectoryEntry",
+    "IsADirectoryEntry",
+    "DirectoryNotEmpty",
+    "InvalidHandle",
+    "MDSUnavailable",
+    "ConfigError",
+    "PolicyError",
+    "RPCError",
+    "StageNotRegistered",
+    "InterpositionError",
+    "TraceFormatError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class SimulationError(ReproError):
+    """Misuse or internal failure of the discrete-event engine."""
+
+
+class ProcessKilled(SimulationError):
+    """Raised inside a simulated process when it is externally killed."""
+
+
+class ConfigError(ReproError):
+    """Invalid configuration value (negative rate, empty schedule, ...)."""
+
+
+class PolicyError(ReproError):
+    """A control-plane policy is malformed or cannot be satisfied."""
+
+
+class RPCError(ReproError):
+    """Control-plane <-> stage communication failure."""
+
+
+class StageNotRegistered(RPCError):
+    """A control-plane call addressed a stage id that is not registered."""
+
+
+class PFSError(ReproError):
+    """Base class for simulated parallel-file-system failures."""
+
+
+class NamespaceError(PFSError):
+    """Base class for namespace (metadata) operation failures."""
+
+
+class NoSuchEntry(NamespaceError):
+    """Path component does not exist (ENOENT)."""
+
+
+class EntryExists(NamespaceError):
+    """Target already exists (EEXIST)."""
+
+
+class NotADirectoryEntry(NamespaceError):
+    """A path component used as a directory is not one (ENOTDIR)."""
+
+
+class IsADirectoryEntry(NamespaceError):
+    """File operation applied to a directory (EISDIR)."""
+
+
+class DirectoryNotEmpty(NamespaceError):
+    """rmdir of a non-empty directory (ENOTEMPTY)."""
+
+
+class InvalidHandle(NamespaceError):
+    """Operation on a closed or unknown file handle (EBADF)."""
+
+
+class MDSUnavailable(PFSError):
+    """The metadata server is saturated past its unresponsiveness threshold."""
+
+
+class InterpositionError(ReproError):
+    """Failure installing or removing the live monkey-patch layer."""
+
+
+class TraceFormatError(ReproError):
+    """A trace file could not be parsed."""

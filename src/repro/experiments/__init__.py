@@ -1,0 +1,22 @@
+"""Experiment harness: one module per paper figure.
+
+* :mod:`repro.experiments.fig1` -- 30-day metadata throughput at PFS_A.
+* :mod:`repro.experiments.fig2` -- type and frequency of metadata ops.
+* :mod:`repro.experiments.fig4` -- per-operation type/class rate limiting.
+* :mod:`repro.experiments.fig5` -- per-job QoS over four concurrent jobs.
+* :mod:`repro.experiments.overhead` -- passthrough-vs-baseline overhead.
+* :mod:`repro.experiments.harm` -- (extension) protecting a saturable MDS.
+
+Each module exposes a ``run_*`` function returning a typed result and a
+``main()`` that prints the regenerated figure as text.
+"""
+
+from repro.experiments.harness import (
+    JobResult,
+    JobSpec,
+    ReplayWorld,
+    Setup,
+    WorldResult,
+)
+
+__all__ = ["JobResult", "JobSpec", "ReplayWorld", "Setup", "WorldResult"]

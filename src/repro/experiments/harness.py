@@ -1,0 +1,409 @@
+"""Shared experiment machinery: jobs, setups, the simulated world.
+
+A :class:`ReplayWorld` assembles one experiment run: a simulated cluster,
+one replayer-driven job per :class:`JobSpec`, optionally fronted by PADLL
+stages, a control plane with policies/algorithm, and a collector sampling
+the series the figures are drawn from.  The paper's three setups map to
+:class:`Setup` values:
+
+* ``BASELINE``  -- the benchmark submits straight to the file system;
+* ``PASSTHROUGH`` -- requests are intercepted by a stage but the
+  enforcement channels are unlimited (overhead measurement);
+* ``PADLL`` -- requests are intercepted and throttled per the installed
+  policies / control algorithm.
+
+Tick ordering within a simulated second is deterministic: replayers
+submit, stages drain, the cluster services, the control loop runs, the
+collector samples -- the order their tickers are created in.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.core.algorithms import AllocationAlgorithm
+from repro.core.controller import ControlPlane, ControlPlaneConfig
+from repro.core.differentiation import ClassifierRule
+from repro.core.policies import PolicyRule
+from repro.core.requests import OperationClass, Request
+from repro.core.stage import DataPlaneStage, StageConfig, StageIdentity
+from repro.core.token_bucket import UNLIMITED
+from repro.monitoring.collector import Collector, Probe
+from repro.pfs.cluster import ClusterConfig, LustreCluster
+from repro.pfs.mds import MDSConfig
+from repro.simulation.engine import Environment
+from repro.simulation.ticker import Ticker
+from repro.workloads.replayer import ReplayDriver, TraceReplayer
+from repro.workloads.trace import OpTrace
+
+__all__ = ["Setup", "JobSpec", "JobResult", "WorldResult", "ReplayWorld"]
+
+#: Mount point every simulated job reads/writes under.
+PFS_MOUNT = "/pfs"
+
+
+class Setup(enum.Enum):
+    BASELINE = "baseline"
+    PASSTHROUGH = "passthrough"
+    PADLL = "padll"
+
+
+@dataclass(slots=True)
+class JobSpec:
+    """One job: a trace replayed through an (optional) PADLL stage."""
+
+    job_id: str
+    trace: OpTrace
+    setup: Setup = Setup.BASELINE
+    #: Restrict replay to these operation kinds (None = all in trace).
+    kinds: Optional[Tuple[str, ...]] = None
+    start: float = 0.0
+    #: "per-op": one channel+rule per kind; "per-class": one metadata channel.
+    channel_mode: str = "per-class"
+    rate_scale: float = 0.5
+    acceleration: float = 60.0
+    #: Number of data-plane stages (distributed job instances).
+    n_stages: int = 1
+    #: Initial rate of PADLL channels before the control plane's first
+    #: enforcement (None = unlimited).  Set this when the substrate is
+    #: saturable: a one-loop-interval dump at unlimited rate can overload
+    #: a small MDS before the first feedback iteration.
+    initial_rate: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ConfigError(f"job start must be >= 0, got {self.start}")
+        if self.channel_mode not in ("per-op", "per-class"):
+            raise ConfigError(f"unknown channel mode {self.channel_mode!r}")
+        if self.n_stages < 1:
+            raise ConfigError(f"n_stages must be >= 1, got {self.n_stages}")
+        if self.initial_rate is not None and self.initial_rate <= 0:
+            raise ConfigError(f"initial rate must be positive, got {self.initial_rate}")
+
+
+@dataclass(slots=True)
+class _JobRuntime:
+    spec: JobSpec
+    driver: Optional[ReplayDriver] = None
+    stages: List[DataPlaneStage] = field(default_factory=list)
+    #: ops delivered to the FS since the last collector sample, per kind.
+    window: Dict[str, float] = field(default_factory=dict)
+    delivered_total: float = 0.0
+    completed_at: Optional[float] = None
+    started: bool = False
+
+    def backlog(self) -> float:
+        return sum(stage.backlog() for stage in self.stages)
+
+
+@dataclass(frozen=True, slots=True)
+class JobResult:
+    """Per-job outcome of one world run."""
+
+    job_id: str
+    start: float
+    completed_at: Optional[float]
+    submitted_ops: float
+    delivered_ops: float
+
+    @property
+    def makespan(self) -> Optional[float]:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.start
+
+
+@dataclass(frozen=True, slots=True)
+class WorldResult:
+    """Everything one run produced."""
+
+    setup: Setup
+    duration: float
+    #: series name -> (times, values); includes "mds.<kind>" served rates,
+    #: "job.<id>" per-job delivered rates, "job.<id>.backlog" gauges.
+    series: Mapping[str, Tuple[np.ndarray, np.ndarray]]
+    jobs: Mapping[str, JobResult]
+    #: (time, job_id, rate) enforcement decisions of the control algorithm.
+    enforcement_log: Sequence[Tuple[float, str, float]]
+
+    def job_rate_series(self, job_id: str) -> Tuple[np.ndarray, np.ndarray]:
+        return self.series[f"job.{job_id}"]
+
+    def mds_rate_series(self, kind: str = "total") -> Tuple[np.ndarray, np.ndarray]:
+        return self.series[f"mds.{kind}"]
+
+    def aggregate_job_rate(self) -> np.ndarray:
+        """Element-wise sum of all per-job delivered-rate series."""
+        stacks = [v for k, (_, v) in self.series.items()
+                  if k.startswith("job.") and k.count(".") == 1]
+        if not stacks:
+            return np.array([])
+        n = min(len(v) for v in stacks)
+        return np.sum([v[:n] for v in stacks], axis=0)
+
+
+class ReplayWorld:
+    """One experiment run: cluster + jobs + control plane + collector."""
+
+    def __init__(
+        self,
+        setup: Setup,
+        dt: float = 1.0,
+        sample_period: float = 5.0,
+        loop_interval: float = 1.0,
+        mds_capacity: float = 10e6,
+        mds_can_fail: bool = False,
+        algorithm: Optional[AllocationAlgorithm] = None,
+        algorithm_channel: str = "metadata",
+        fabric_factory=None,
+        health_aware: bool = False,
+    ) -> None:
+        if dt <= 0:
+            raise ConfigError(f"dt must be positive, got {dt}")
+        if sample_period <= 0:
+            raise ConfigError(f"sample period must be positive, got {sample_period}")
+        self.setup = setup
+        self.dt = float(dt)
+        self.sample_period = float(sample_period)
+        self.env = Environment()
+        self.cluster = LustreCluster(
+            ClusterConfig(
+                mds=MDSConfig(capacity=mds_capacity, can_fail=mds_can_fail)
+            )
+        )
+        self.cluster.set_clock(lambda: self.env.now)
+        # ``fabric_factory(env)`` lets experiments interpose a custom RPC
+        # fabric (e.g. delayed enforcement for the control-lag ablation).
+        fabric = fabric_factory(self.env) if fabric_factory is not None else None
+        self.controller = ControlPlane(
+            fabric=fabric,
+            config=ControlPlaneConfig(
+                loop_interval=loop_interval, algorithm_channel=algorithm_channel
+            ),
+            algorithm=algorithm,
+        )
+        if health_aware:
+            # The control plane's global visibility includes PFS health:
+            # during an MDS outage it pauses enforcement so backlog stays
+            # at the stages (see repro.experiments.failover).
+            self.controller.health_probe = (
+                lambda: self.cluster.active_mds(self.env.now) is not None
+            )
+        self._jobs: Dict[str, _JobRuntime] = {}
+        self._reservations: Dict[str, float] = {}
+        self._pending_policies: List[PolicyRule] = []
+        # Tick order: jobs submit (tickers created at add_job time, before
+        # these), then stages drain, the cluster services, the control loop
+        # runs, and the collector samples last.
+        self._drain_ticker: Optional[Ticker] = None
+        self.collector: Optional[Collector] = None
+
+    # -- configuration ------------------------------------------------------------
+    def set_reservation(self, job_id: str, rate: float) -> None:
+        """Reservation applied when (and if) the job registers."""
+        self._reservations[job_id] = rate
+
+    def install_policy(self, rule: PolicyRule) -> None:
+        self.controller.install_policy(rule)
+
+    def add_job(self, spec: JobSpec) -> None:
+        if spec.job_id in self._jobs:
+            raise ConfigError(f"duplicate job id {spec.job_id!r}")
+        runtime = _JobRuntime(spec=spec)
+        self._jobs[spec.job_id] = runtime
+        # Jobs enter the system at their start time (stage registration
+        # included), exactly like a scheduler launching them.
+        self.env.call_at(spec.start, lambda: self._start_job(runtime))
+
+    # -- job wiring -----------------------------------------------------------------
+    def _deliver(self, runtime: _JobRuntime, request: Request) -> None:
+        """Sink between the job's last component and the FS client."""
+        kind = request.mds_kind or "local"
+        runtime.window[kind] = runtime.window.get(kind, 0.0) + request.count
+        runtime.delivered_total += request.count
+        self._client.submit(request)
+
+    def _start_job(self, runtime: _JobRuntime) -> None:
+        spec = runtime.spec
+        runtime.started = True
+        submit = None
+        if spec.setup is Setup.BASELINE:
+            submit = lambda req: self._deliver(runtime, req)  # noqa: E731
+        else:
+            unlimited = spec.setup is Setup.PASSTHROUGH
+            for i in range(spec.n_stages):
+                stage = DataPlaneStage(
+                    StageIdentity(
+                        stage_id=f"{spec.job_id}-stage{i}",
+                        job_id=spec.job_id,
+                        hostname=f"node-{spec.job_id}-{i}",
+                    ),
+                    sink=lambda req, rt=runtime: self._deliver(rt, req),
+                    config=StageConfig(pfs_mounts=(PFS_MOUNT,)),
+                )
+                self._build_channels(stage, spec, unlimited)
+                runtime.stages.append(stage)
+                self.controller.register(stage, now=self.env.now)
+            reservation = self._reservations.get(spec.job_id)
+            if reservation is not None:
+                self.controller.set_reservation(spec.job_id, reservation)
+            if spec.n_stages == 1:
+                only = runtime.stages[0]
+                submit = lambda req: only.submit(req, self.env.now)  # noqa: E731
+            else:
+                # Split each batch evenly over the job's stages (one
+                # application instance per node submitting its share).
+                def submit(req, rt=runtime):  # noqa: E731
+                    share = req.count / len(rt.stages)
+                    for stage in rt.stages:
+                        part = Request(
+                            op=req.op, path=req.path, job_id=req.job_id,
+                            count=share, size=req.size,
+                        )
+                        stage.submit(part, self.env.now)
+
+        kinds = spec.kinds
+        replayer = TraceReplayer(
+            spec.trace,
+            acceleration=spec.acceleration,
+            rate_scale=spec.rate_scale,
+            kinds=kinds,
+        )
+        runtime.driver = ReplayDriver(
+            self.env,
+            replayer,
+            submit,
+            job_id=spec.job_id,
+            mount=PFS_MOUNT,
+            dt=self.dt,
+            start=self.env.now,
+        )
+
+    def _build_channels(self, stage: DataPlaneStage, spec: JobSpec, unlimited: bool) -> None:
+        now = self.env.now
+        initial = UNLIMITED if (unlimited or spec.initial_rate is None) else (
+            spec.initial_rate / spec.n_stages
+        )
+        if spec.channel_mode == "per-op":
+            kinds = spec.kinds or tuple(spec.trace.kinds)
+            from repro.workloads.replayer import KIND_TO_OP
+
+            for kind in kinds:
+                stage.create_channel(kind, rate=initial, now=now)
+                stage.add_classifier_rule(
+                    ClassifierRule(
+                        name=f"{kind}-rule",
+                        channel_id=kind,
+                        op_types=frozenset({KIND_TO_OP[kind]}),
+                    )
+                )
+        else:
+            stage.create_channel("metadata", rate=initial, now=now)
+            stage.add_classifier_rule(
+                ClassifierRule(
+                    name="metadata-rule",
+                    channel_id="metadata",
+                    op_classes=frozenset(
+                        {
+                            OperationClass.METADATA,
+                            OperationClass.DIRECTORY_MANAGEMENT,
+                            OperationClass.EXTENDED_ATTRIBUTES,
+                        }
+                    ),
+                )
+            )
+        # Passthrough keeps channels unlimited forever by not installing
+        # policies; PADLL's rates arrive from the control plane.
+        del unlimited
+
+    # -- per-tick housekeeping ----------------------------------------------------
+    def _drain_tick(self, now: float) -> None:
+        for runtime in self._jobs.values():
+            for stage in runtime.stages:
+                stage.drain(now)
+        self.cluster.service(now, self.dt)
+        self._check_completions(now)
+
+    def _check_completions(self, now: float) -> None:
+        # A job is only complete once the FS actually served its work: a
+        # failed/recovering MDS, or one with a deep queue, blocks completion.
+        mds = self.cluster.active_mds(now)
+        fs_healthy = mds is not None and mds.queue_delay <= self.dt
+        for runtime in self._jobs.values():
+            if runtime.completed_at is not None or runtime.driver is None:
+                continue
+            if fs_healthy and runtime.driver.finished and runtime.backlog() <= 1e-6:
+                runtime.completed_at = now
+                # The job leaves the system: its stages deregister, and
+                # algorithms redistribute its share (Fig. 5's exits).
+                for stage in runtime.stages:
+                    self.controller.deregister(stage.identity.stage_id)
+                runtime.stages.clear()
+
+    # -- running ----------------------------------------------------------------------
+    def run(self, duration: float) -> WorldResult:
+        if duration <= 0:
+            raise ConfigError(f"duration must be positive, got {duration}")
+        self._client = self.cluster.new_client()
+        # All three run deferred so that within any instant they observe
+        # the replayers' submissions for that tick: jobs submit, stages
+        # drain, the control loop runs, the collector samples.
+        self._drain_ticker = Ticker(
+            self.env, self.dt, self._drain_tick, start=0.0, name="drain", defer=1
+        )
+        control_ticker = Ticker(
+            self.env,
+            self.controller.config.loop_interval,
+            self.controller.tick,
+            start=0.0,
+            name="control-loop",
+            defer=2,
+        )
+        self.collector = Collector(self.env, period=self.sample_period, defer=3)
+        mds = self.cluster.mds_servers[0]
+        self.collector.add_probe(Collector.mds_probe("mds", mds))
+        for job_id, runtime in self._jobs.items():
+            self.collector.add_probe(self._job_probe(job_id, runtime))
+        self.env.run(until=duration)
+        control_ticker.stop()
+        series = {
+            name: (ts.times().copy(), ts.values().copy())
+            for name, ts in self.collector.series.items()
+        }
+        jobs = {
+            job_id: JobResult(
+                job_id=job_id,
+                start=runtime.spec.start,
+                completed_at=runtime.completed_at,
+                submitted_ops=(
+                    runtime.driver.total_submitted if runtime.driver else 0.0
+                ),
+                delivered_ops=runtime.delivered_total,
+            )
+            for job_id, runtime in self._jobs.items()
+        }
+        return WorldResult(
+            setup=self.setup,
+            duration=duration,
+            series=series,
+            jobs=jobs,
+            enforcement_log=tuple(self.controller.enforcement_log),
+        )
+
+    def _job_probe(self, job_id: str, runtime: _JobRuntime) -> Probe:
+        def sample(now: float, period: float) -> Dict[str, float]:
+            window = runtime.window
+            runtime.window = {}
+            out = {"": sum(window.values()) / period}
+            for kind, count in window.items():
+                out[kind] = count / period
+            out["backlog"] = runtime.backlog()
+            return out
+
+        return Probe(name=f"job.{job_id}", sample=sample)

@@ -1,0 +1,28 @@
+"""Live interposition: the Python analogue of the paper's LD_PRELOAD shim.
+
+The C++ prototype interposes 42 POSIX symbols; the closest faithful
+mechanism in pure Python is patching the interpreter's I/O entry points
+(``builtins.open`` and the ``os`` module functions) so that every file
+operation a Python application performs is classified and throttled by a
+real PADLL stage *before* reaching the kernel.  Token buckets here run on
+the wall clock and block the calling thread for exactly the computed
+wait, which is what the preload shim does to the calling application
+thread.
+
+Usage::
+
+    stage = LiveStage(StageIdentity("s0", "job0"), pfs_mounts=("/mnt/pfs",))
+    stage.create_channel("metadata", rate=500.0)
+    stage.add_classifier_rule(ClassifierRule(
+        "md", "metadata", op_classes=frozenset({OperationClass.METADATA})))
+    with Interposer(stage):
+        open("/mnt/pfs/file", "w").close()   # throttled
+        open("/tmp/other", "w").close()      # passthrough (non-PFS mount)
+"""
+
+from repro.interpose.live_bucket import LiveTokenBucket
+from repro.interpose.live_stage import LiveStage
+from repro.interpose.loop import LiveControlLoop
+from repro.interpose.monkeypatch import Interposer
+
+__all__ = ["Interposer", "LiveControlLoop", "LiveStage", "LiveTokenBucket"]

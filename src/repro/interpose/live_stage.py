@@ -1,0 +1,162 @@
+"""Wall-clock data-plane stage for the live interposition layer.
+
+Quacks like :class:`~repro.core.stage.DataPlaneStage` for everything the
+control plane touches (``collect``, ``set_channel_rate``,
+``create_channel``, ``add_classifier_rule``), so the same
+:class:`~repro.core.rpc.StageEndpoint` and
+:class:`~repro.core.controller.ControlPlane` drive both the simulated and
+the live stages.  The data path differs: instead of queue-and-drain, the
+live stage *blocks the calling thread* in :meth:`throttle` until its
+channel's bucket grants a token -- exactly what the LD_PRELOAD shim does
+to an application thread.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.core.differentiation import Classifier, ClassifierRule, Decision
+from repro.core.requests import Request
+from repro.core.stage import ChannelSnapshot, StageIdentity, StageStats
+from repro.core.token_bucket import UNLIMITED
+from repro.interpose.live_bucket import LiveTokenBucket
+
+__all__ = ["LiveStage"]
+
+
+class _LiveChannel:
+    __slots__ = ("channel_id", "bucket", "granted_total", "window_granted", "lock")
+
+    def __init__(self, channel_id: str, bucket: LiveTokenBucket) -> None:
+        self.channel_id = channel_id
+        self.bucket = bucket
+        self.granted_total = 0.0
+        self.window_granted = 0.0
+        self.lock = threading.Lock()
+
+    def record(self, count: float) -> None:
+        with self.lock:
+            self.granted_total += count
+            self.window_granted += count
+
+    def take_window(self) -> float:
+        with self.lock:
+            window = self.window_granted
+            self.window_granted = 0.0
+            return window
+
+
+class LiveStage:
+    """A PADLL stage enforcing rates on real (wall-clock) I/O."""
+
+    def __init__(
+        self,
+        identity: StageIdentity,
+        pfs_mounts: Optional[Sequence[str]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.identity = identity
+        self.classifier = Classifier(pfs_mounts=pfs_mounts)
+        self._clock = clock
+        self._channels: Dict[str, _LiveChannel] = {}
+        self._lock = threading.Lock()
+        self._passthrough_total = 0.0
+        self._passthrough_window = 0.0
+        self._last_collect = clock()
+
+    # -- control-plane surface (mirrors DataPlaneStage) -------------------------
+    def create_channel(
+        self,
+        channel_id: str,
+        rate: float = UNLIMITED,
+        burst: Optional[float] = None,
+        *,
+        now: float = 0.0,
+    ) -> None:
+        with self._lock:
+            if channel_id in self._channels:
+                raise ConfigError(f"channel {channel_id!r} already exists")
+            self._channels[channel_id] = _LiveChannel(
+                channel_id, LiveTokenBucket(rate, burst, clock=self._clock)
+            )
+
+    def set_channel_rate(
+        self, channel_id: str, rate: float, now: float = 0.0, burst: Optional[float] = None
+    ) -> None:
+        self._channel(channel_id).bucket.set_rate(rate, burst)
+
+    def channel_rate(self, channel_id: str) -> float:
+        return self._channel(channel_id).bucket.rate
+
+    def add_classifier_rule(self, rule: ClassifierRule) -> None:
+        if rule.channel_id not in self._channels:
+            raise ConfigError(
+                f"rule {rule.name!r} targets unknown channel {rule.channel_id!r}"
+            )
+        self.classifier.add_rule(rule)
+
+    def _channel(self, channel_id: str) -> _LiveChannel:
+        try:
+            return self._channels[channel_id]
+        except KeyError:
+            raise ConfigError(f"no channel {channel_id!r}") from None
+
+    # -- data path ------------------------------------------------------------------
+    def throttle(self, request: Request) -> Decision:
+        """Classify ``request`` and block until its channel admits it."""
+        request.job_id = request.job_id or self.identity.job_id
+        decision = self.classifier.classify(request)
+        if decision.enforced:
+            assert decision.channel_id is not None
+            channel = self._channel(decision.channel_id)
+            channel.bucket.acquire(request.count)
+            channel.record(request.count)
+        else:
+            with self._lock:
+                self._passthrough_total += request.count
+                self._passthrough_window += request.count
+        return decision
+
+    # -- monitoring -------------------------------------------------------------------
+    @property
+    def passthrough_total(self) -> float:
+        return self._passthrough_total
+
+    def granted_total(self, channel_id: str) -> float:
+        return self._channel(channel_id).granted_total
+
+    def collect(self, now: Optional[float] = None) -> StageStats:
+        """Window statistics, in the same shape the simulated stage reports.
+
+        The live path has no queue, so ``enqueued == granted`` and backlog
+        is always zero (blocked threads hold their own requests).
+        """
+        t = self._clock() if now is None or now == 0.0 else now
+        with self._lock:
+            window = t - self._last_collect
+            self._last_collect = t
+            passthrough = self._passthrough_window
+            self._passthrough_window = 0.0
+        snapshots = []
+        for channel in self._channels.values():
+            granted = channel.take_window()
+            snapshots.append(
+                ChannelSnapshot(
+                    channel_id=channel.channel_id,
+                    granted_ops=granted,
+                    enqueued_ops=granted,
+                    backlog=0.0,
+                    rate_limit=channel.bucket.rate,
+                )
+            )
+        return StageStats(
+            stage_id=self.identity.stage_id,
+            job_id=self.identity.job_id,
+            timestamp=t,
+            window=window,
+            channels=tuple(snapshots),
+            passthrough_ops=passthrough,
+        )

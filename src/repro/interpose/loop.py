@@ -1,0 +1,74 @@
+"""Threaded feedback loop driving a ControlPlane against live stages.
+
+The simulated experiments tick the control plane from the event engine;
+the live layer needs a real thread doing the same at wall-clock
+intervals.  :class:`LiveControlLoop` wraps a
+:class:`~repro.core.controller.ControlPlane` in a daemon thread calling
+``tick(time.monotonic())`` every ``interval`` seconds until stopped.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.errors import ConfigError
+from repro.core.controller import ControlPlane
+
+__all__ = ["LiveControlLoop"]
+
+
+class LiveControlLoop:
+    """Runs a control plane's feedback loop on a background thread."""
+
+    def __init__(
+        self,
+        controller: ControlPlane,
+        interval: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if interval <= 0:
+            raise ConfigError(f"interval must be positive, got {interval}")
+        self.controller = controller
+        self.interval = float(interval)
+        self._clock = clock
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        #: Exceptions raised inside the loop (the thread stops on the first).
+        self.error: BaseException | None = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> None:
+        if self.running:
+            raise ConfigError("control loop already running")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="padll-control-loop", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+        if self.error is not None:
+            raise self.error
+
+    def _run(self) -> None:
+        try:
+            while not self._stop.wait(self.interval):
+                self.controller.tick(self._clock())
+        except BaseException as exc:  # surfaced by stop()
+            self.error = exc
+
+    def __enter__(self) -> "LiveControlLoop":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

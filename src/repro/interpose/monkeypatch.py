@@ -1,0 +1,259 @@
+"""Monkey-patch interposition of the interpreter's file-I/O entry points.
+
+:class:`Interposer` is a context manager that replaces ``builtins.open``
+and a table of ``os`` functions with wrappers that route a classified
+:class:`~repro.core.requests.Request` through a
+:class:`~repro.interpose.live_stage.LiveStage` *before* invoking the real
+call -- interception semantics matching the paper's LD_PRELOAD shim as
+closely as pure Python allows.
+
+The patch set covers the metadata and directory-management surface an
+application exercises through the standard library.  Reads and writes go
+through file objects rather than module functions, so data-op throttling
+wraps the object returned by ``open`` (read/write methods acquire from
+the stage per call).
+"""
+
+from __future__ import annotations
+
+import builtins
+import functools
+import os
+import threading
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import InterpositionError
+from repro.core.requests import OperationType, Request
+from repro.interpose.live_stage import LiveStage
+
+__all__ = ["Interposer"]
+
+#: os-module function name -> (operation type, index of the path argument).
+#: (os.open is handled separately so the returned fd's path is recorded.)
+_OS_TABLE: Dict[str, tuple[OperationType, int]] = {
+    "stat": (OperationType.STAT, 0),
+    "lstat": (OperationType.LSTAT, 0),
+    "chmod": (OperationType.CHMOD, 0),
+    "chown": (OperationType.CHOWN, 0),
+    "truncate": (OperationType.TRUNCATE, 0),
+    "unlink": (OperationType.UNLINK, 0),
+    "remove": (OperationType.UNLINK, 0),
+    "link": (OperationType.LINK, 0),
+    "symlink": (OperationType.LINK, 0),
+    "readlink": (OperationType.STAT, 0),
+    "rename": (OperationType.RENAME, 0),
+    "replace": (OperationType.RENAME, 0),
+    "mkdir": (OperationType.MKDIR, 0),
+    "rmdir": (OperationType.RMDIR, 0),
+    "listdir": (OperationType.READDIR, 0),
+    "scandir": (OperationType.READDIR, 0),
+    "statvfs": (OperationType.STATFS, 0),
+    "utime": (OperationType.CHMOD, 0),
+    "getxattr": (OperationType.GETXATTR, 0),
+    "setxattr": (OperationType.SETXATTR, 0),
+    "listxattr": (OperationType.LISTXATTR, 0),
+    "removexattr": (OperationType.REMOVEXATTR, 0),
+}
+
+
+#: fd-based os functions: name -> operation type.  The wrapper resolves
+#: the fd to a path via the interposer's descriptor table (populated by
+#: the os.open wrapper), so mount differentiation works for fd calls too.
+_FD_TABLE: Dict[str, OperationType] = {
+    "close": OperationType.CLOSE,
+    "fstat": OperationType.FSTAT,
+    "fchmod": OperationType.CHMOD,
+    "ftruncate": OperationType.TRUNCATE,
+    "fsync": OperationType.FSYNC,
+    "read": OperationType.READ,
+    "write": OperationType.WRITE,
+}
+
+
+def _fspath(value: Any) -> str:
+    try:
+        return os.fspath(value) if not isinstance(value, int) else ""
+    except TypeError:
+        return ""
+
+
+class _ThrottledFile:
+    """Proxy around a file object that throttles read/write calls."""
+
+    def __init__(self, inner: Any, stage: LiveStage, path: str, job_id: str) -> None:
+        object.__setattr__(self, "_inner", inner)
+        object.__setattr__(self, "_stage", stage)
+        object.__setattr__(self, "_path", path)
+        object.__setattr__(self, "_job_id", job_id)
+
+    def _throttle(self, op: OperationType, size: int = 0) -> None:
+        self._stage.throttle(
+            Request(op=op, path=self._path, job_id=self._job_id, size=size)
+        )
+
+    def read(self, *args, **kwargs):
+        self._throttle(OperationType.READ)
+        return self._inner.read(*args, **kwargs)
+
+    def write(self, data, *args, **kwargs):
+        self._throttle(OperationType.WRITE, size=len(data) if hasattr(data, "__len__") else 0)
+        return self._inner.write(data, *args, **kwargs)
+
+    def readline(self, *args, **kwargs):
+        self._throttle(OperationType.READ)
+        return self._inner.readline(*args, **kwargs)
+
+    def close(self) -> None:
+        self._throttle(OperationType.CLOSE)
+        self._inner.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __iter__(self):
+        return iter(self._inner)
+
+    def __getattr__(self, name: str):
+        return getattr(self._inner, name)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        setattr(self._inner, name, value)
+
+
+class Interposer:
+    """Context manager installing/removing the interposition patches.
+
+    Nested installation is rejected: like a double LD_PRELOAD of the same
+    shim, it would double-throttle every call.
+    """
+
+    _active_lock = threading.Lock()
+    _active: Optional["Interposer"] = None
+
+    def __init__(self, stage: LiveStage, wrap_file_io: bool = True) -> None:
+        self.stage = stage
+        self.wrap_file_io = wrap_file_io
+        self._saved_open: Optional[Callable] = None
+        self._saved_os: Dict[str, Callable] = {}
+        self.intercepted_calls = 0
+        #: fd -> path for descriptors opened through the patched os.open.
+        self._fd_paths: Dict[int, str] = {}
+
+    # -- wrappers ----------------------------------------------------------------
+    def _make_os_open_wrapper(self, original: Callable):
+        """os.open: throttle, then remember the returned fd's path."""
+
+        @functools.wraps(original)
+        def wrapper(path, *args, **kwargs):
+            resolved = _fspath(path)
+            self.intercepted_calls += 1
+            self.stage.throttle(
+                Request(
+                    op=OperationType.OPEN,
+                    path=resolved or "",
+                    job_id=self.stage.identity.job_id,
+                )
+            )
+            fd = original(path, *args, **kwargs)
+            if isinstance(fd, int):
+                self._fd_paths[fd] = resolved
+            return fd
+
+        return wrapper
+
+    def _make_fd_wrapper(self, original: Callable, name: str, op: OperationType):
+        """fd-based os call: resolve the fd to a path, throttle, forward."""
+
+        @functools.wraps(original)
+        def wrapper(fd, *args, **kwargs):
+            path = self._fd_paths.get(fd, "") if isinstance(fd, int) else ""
+            self.intercepted_calls += 1
+            self.stage.throttle(
+                Request(op=op, path=path, job_id=self.stage.identity.job_id)
+            )
+            result = original(fd, *args, **kwargs)
+            if name == "close" and isinstance(fd, int):
+                self._fd_paths.pop(fd, None)
+            return result
+
+        return wrapper
+
+    def _make_os_wrapper(self, original: Callable, op: OperationType, path_idx: int):
+        @functools.wraps(original)
+        def wrapper(*args, **kwargs):
+            path = _fspath(args[path_idx]) if len(args) > path_idx else ""
+            self.intercepted_calls += 1
+            self.stage.throttle(
+                Request(op=op, path=path or "", job_id=self.stage.identity.job_id)
+            )
+            return original(*args, **kwargs)
+
+        return wrapper
+
+    def _make_open_wrapper(self, original: Callable):
+        @functools.wraps(original)
+        def wrapper(file, *args, **kwargs):
+            path = _fspath(file)
+            self.intercepted_calls += 1
+            self.stage.throttle(
+                Request(
+                    op=OperationType.OPEN,
+                    path=path or "",
+                    job_id=self.stage.identity.job_id,
+                )
+            )
+            handle = original(file, *args, **kwargs)
+            if self.wrap_file_io and path:
+                return _ThrottledFile(
+                    handle, self.stage, path, self.stage.identity.job_id
+                )
+            return handle
+
+        return wrapper
+
+    # -- install / remove ------------------------------------------------------------
+    def install(self) -> None:
+        with Interposer._active_lock:
+            if Interposer._active is not None:
+                raise InterpositionError("an Interposer is already installed")
+            Interposer._active = self
+        self._saved_open = builtins.open
+        builtins.open = self._make_open_wrapper(builtins.open)
+        for name, (op, path_idx) in _OS_TABLE.items():
+            original = getattr(os, name, None)
+            if original is None:
+                continue  # platform without this call (e.g. xattr on mac)
+            self._saved_os[name] = original
+            setattr(os, name, self._make_os_wrapper(original, op, path_idx))
+        # os.open gets fd bookkeeping; fd-based calls resolve through it.
+        self._saved_os["open"] = os.open
+        os.open = self._make_os_open_wrapper(os.open)
+        for name, op in _FD_TABLE.items():
+            original = getattr(os, name, None)
+            if original is None:
+                continue
+            self._saved_os[name] = original
+            setattr(os, name, self._make_fd_wrapper(original, name, op))
+
+    def remove(self) -> None:
+        with Interposer._active_lock:
+            if Interposer._active is not self:
+                raise InterpositionError("this Interposer is not installed")
+            Interposer._active = None
+        if self._saved_open is not None:
+            builtins.open = self._saved_open
+            self._saved_open = None
+        for name, original in self._saved_os.items():
+            setattr(os, name, original)
+        self._saved_os.clear()
+        self._fd_paths.clear()
+
+    def __enter__(self) -> "Interposer":
+        self.install()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.remove()

@@ -1,0 +1,108 @@
+"""Operator-facing status reports.
+
+Renders what a dashboard would show -- MDS health and utilisation,
+per-job throughput and backlog, control-plane state -- as plain text, so
+examples and the CLI can surface a cluster's state without a display.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.controller import ControlPlane
+from repro.pfs.cluster import LustreCluster
+from repro.pfs.costs import op_cost
+
+__all__ = ["cluster_report", "control_plane_report"]
+
+
+def _fmt_rate(value: float) -> str:
+    if value >= 1e6:
+        return f"{value / 1e6:.2f}M"
+    if value >= 1e3:
+        return f"{value / 1e3:.1f}K"
+    return f"{value:.0f}"
+
+
+def cluster_report(cluster: LustreCluster, now: float) -> str:
+    """A point-in-time health report for one simulated cluster."""
+    lines: List[str] = []
+    lines.append(f"cluster @ t={now:.0f}s  mode={cluster.config.mds_mode}")
+    for mds in cluster.mds_servers:
+        if mds.failed:
+            state = "FAILED"
+        elif mds.degraded:
+            state = "DEGRADED"
+        else:
+            state = "healthy"
+        total_served = sum(mds.served.values())
+        lines.append(
+            f"  {mds.name:<6} {state:<9} queue={mds.queue_delay:6.2f}s "
+            f"served={_fmt_rate(total_served)} ops "
+            f"mean-latency={mds.mean_latency() * 1e3:7.1f}ms"
+        )
+        if mds.served:
+            top = sorted(mds.served.items(), key=lambda kv: -kv[1])[:4]
+            mix = ", ".join(f"{k}:{_fmt_rate(v)}" for k, v in top)
+            lines.append(f"         top ops: {mix}")
+    if cluster.failovers:
+        lines.append(f"  failovers: {cluster.failovers}")
+    if cluster.pending_replay_ops > 0:
+        lines.append(
+            f"  pending replay: {_fmt_rate(cluster.pending_replay_ops)} ops"
+        )
+    pool = cluster.oss_pool
+    served_bytes = sum(pool.served_bytes.values())
+    lines.append(
+        f"  OSS    {pool.n_oss} servers, {len(pool.targets)} OSTs, "
+        f"served {served_bytes / 2**30:.2f} GiB, "
+        f"queued {pool.queued_bytes / 2**20:.1f} MiB"
+    )
+    fills = [t.fill_fraction for t in pool.targets]
+    lines.append(
+        f"         OST fill: min {min(fills) * 100:.2f}%  "
+        f"max {max(fills) * 100:.2f}%"
+    )
+    return "\n".join(lines)
+
+
+def control_plane_report(controller: ControlPlane) -> str:
+    """Summarise the control plane's registry and recent decisions."""
+    lines: List[str] = []
+    lines.append(
+        f"control plane: {len(controller.stages)} stages / "
+        f"{len(controller.jobs)} jobs, {controller.loop_iterations} loop "
+        f"iterations, {controller.collect_failures} collect failures"
+    )
+    if controller.pause_ticks:
+        lines.append(f"  paused ticks (PFS unhealthy): {controller.pause_ticks}")
+    for job_id, job in sorted(controller.jobs.items()):
+        reservation = (
+            f"reservation {_fmt_rate(job.reservation)} ops/s"
+            if job.reservation
+            else "no reservation"
+        )
+        lines.append(
+            f"  job {job_id:<10} stages={job.n_stages}  {reservation}"
+        )
+        for stage_id in job.stage_ids:
+            stats = controller.last_stats(stage_id)
+            if stats is None:
+                lines.append(f"    {stage_id}: no statistics yet")
+                continue
+            for snap in stats.channels:
+                lines.append(
+                    f"    {stage_id}/{snap.channel_id}: "
+                    f"limit {_fmt_rate(snap.rate_limit)} ops/s, "
+                    f"backlog {_fmt_rate(snap.backlog)}, "
+                    f"mean wait {snap.mean_wait * 1e3:.1f}ms"
+                )
+    for name, policy in sorted(controller.policies.items()):
+        state = "enabled" if policy.enabled else "disabled"
+        lines.append(
+            f"  policy {name}: channel {policy.scope.channel_id} "
+            f"({policy.scope.job_id or 'all jobs'}), {state}"
+        )
+    if controller.evictions:
+        lines.append(f"  liveness evictions: {len(controller.evictions)}")
+    return "\n".join(lines)

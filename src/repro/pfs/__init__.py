@@ -1,0 +1,39 @@
+"""Lustre-like parallel file system simulator.
+
+The substrate the experiments run against: a POSIX namespace with real
+metadata semantics (:mod:`repro.pfs.namespace`), a metadata server with a
+per-operation cost model, queueing, saturation and failure behaviour
+(:mod:`repro.pfs.mds`), object storage servers with striping and bandwidth
+limits (:mod:`repro.pfs.oss`), and a cluster wrapper with hot-standby MDS
+failover (:mod:`repro.pfs.cluster`).
+"""
+
+from repro.pfs.client import PFSClient
+from repro.pfs.cluster import ClusterConfig, LustreCluster
+from repro.pfs.costs import OP_COSTS, op_cost
+from repro.pfs.discrete import ClosedLoopClient, DiscreteMDS, DiscreteMDSConfig
+from repro.pfs.locks import LockMode, LockTable
+from repro.pfs.mds import MDSConfig, MetadataServer
+from repro.pfs.namespace import FileKind, Inode, Namespace, OpenHandle
+from repro.pfs.oss import OSTarget, ObjectStoragePool
+
+__all__ = [
+    "ClosedLoopClient",
+    "ClusterConfig",
+    "DiscreteMDS",
+    "DiscreteMDSConfig",
+    "FileKind",
+    "Inode",
+    "LockMode",
+    "LockTable",
+    "LustreCluster",
+    "MDSConfig",
+    "MetadataServer",
+    "Namespace",
+    "OP_COSTS",
+    "OSTarget",
+    "ObjectStoragePool",
+    "OpenHandle",
+    "PFSClient",
+    "op_cost",
+]

@@ -1,0 +1,56 @@
+"""PFS client: the compute-node component that issues RPCs to MDS/OSSs.
+
+A client accepts :class:`~repro.core.requests.Request` records (what a
+data-plane stage releases downstream) and routes them: metadata-inducing
+requests to the active MDS of its cluster, data requests to the OSS pool.
+This is the ``sink`` a :class:`~repro.core.stage.DataPlaneStage` is wired
+to in every simulated experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import ConfigError, MDSUnavailable
+from repro.core.requests import Request
+
+__all__ = ["PFSClient"]
+
+
+class PFSClient:
+    """One compute node's file-system client."""
+
+    def __init__(self, cluster: "LustreCluster", name: str = "client0") -> None:  # noqa: F821
+        self.cluster = cluster
+        self.name = name
+        #: Requests this client could not deliver because the MDS was down.
+        self.failed_ops = 0.0
+        self.submitted_ops = 0.0
+        self._clock: Callable[[], float] = lambda: 0.0
+
+    def set_clock(self, clock: Callable[[], float]) -> None:
+        """Attach the simulation clock (requests are stamped on arrival)."""
+        self._clock = clock
+
+    def submit(self, request: Request) -> None:
+        """Deliver one request (or batch) to the file system."""
+        now = self._clock()
+        kind = request.mds_kind
+        self.submitted_ops += request.count
+        if kind is None:
+            # Client-local call (e.g. lseek): nothing leaves the node.
+            return
+        if kind in ("read", "write"):
+            nbytes = max(request.size, 1) * request.count
+            self.cluster.oss_pool.offer(kind, nbytes, now)
+            return
+        mds = self.cluster.mds_for_path(request.path, now)
+        if mds is None:
+            self.failed_ops += request.count
+            self.cluster.buffer_for_replay(kind, request.count)
+            return
+        try:
+            mds.offer(kind, request.count, now)
+        except MDSUnavailable:
+            self.failed_ops += request.count
+            self.cluster.buffer_for_replay(kind, request.count)

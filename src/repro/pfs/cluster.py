@@ -1,0 +1,225 @@
+"""Cluster wiring: MDSs (hot standby), MDTs, OSS pool, clients, service loop.
+
+Mirrors PFS_A's configuration from the paper's trace study: 2 MDSs in
+hot-standby (one active, one standby that takes over after a failover
+delay), 6 MDTs persisting the namespace, and 36 OSTs behind OSSs.  The
+namespace's stripe allocator is wired to the OSS pool so file creation is
+capacity-balanced, as the paper describes the MDS doing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.errors import ConfigError, MDSUnavailable
+from repro.pfs.client import PFSClient
+from repro.pfs.mds import MDSConfig, MetadataServer
+from repro.pfs.namespace import Namespace
+from repro.pfs.oss import ObjectStoragePool
+
+__all__ = ["ClusterConfig", "LustreCluster"]
+
+
+@dataclass(slots=True)
+class ClusterConfig:
+    """Topology and capacity of a simulated Lustre-like deployment."""
+
+    n_mds: int = 2  # active + hot standby, PFS_A's layout
+    n_mdt: int = 6
+    n_oss: int = 4
+    n_ost: int = 36
+    total_capacity_bytes: int = 9_500 * 2**40  # 9.5 PiB
+    oss_bandwidth: float = 10 * 2**30
+    mds: MDSConfig = field(default_factory=MDSConfig)
+    #: Seconds for the standby to take over after the active MDS fails.
+    failover_delay: float = 30.0
+    #: Metadata service layout (section II): "hot-standby" keeps one MDS
+    #: active with the rest as replicas; "dne" (Distributed NamEspace)
+    #: makes every MDS active, each managing the part of the namespace
+    #: its hash bucket covers -- aggregate metadata capacity scales with
+    #: n_mds, but a failed server takes its subtree offline (no standby).
+    mds_mode: str = "hot-standby"
+    #: Lustre clients hold requests issued during an MDS outage and
+    #: *replay* them to the replacement server at takeover.  True models
+    #: that (the whole outage backlog arrives as one burst -- the recovery
+    #: storm); False drops outage requests outright.
+    replay_on_failover: bool = True
+    #: Extra cost factor for renames that cross MDT boundaries in DNE mode
+    #: (the paper: atomicity across servers is particularly expensive).
+    cross_mdt_rename_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.n_mds < 1:
+            raise ConfigError("need at least one MDS")
+        if self.n_mdt < 1:
+            raise ConfigError("need at least one MDT")
+        if self.failover_delay < 0:
+            raise ConfigError(
+                f"failover delay must be >= 0, got {self.failover_delay}"
+            )
+        if self.mds_mode not in ("hot-standby", "dne"):
+            raise ConfigError(f"unknown MDS mode {self.mds_mode!r}")
+        if self.cross_mdt_rename_factor < 1.0:
+            raise ConfigError(
+                f"cross-MDT rename factor must be >= 1, got "
+                f"{self.cross_mdt_rename_factor}"
+            )
+
+
+class LustreCluster:
+    """A complete simulated PFS deployment."""
+
+    def __init__(self, config: Optional[ClusterConfig] = None) -> None:
+        self.config = config or ClusterConfig()
+        self._clock: Callable[[], float] = lambda: 0.0
+        self.oss_pool = ObjectStoragePool(
+            n_oss=self.config.n_oss,
+            n_ost=self.config.n_ost,
+            ost_capacity_bytes=max(1, self.config.total_capacity_bytes // self.config.n_ost),
+            oss_bandwidth=self.config.oss_bandwidth,
+        )
+        # One shared namespace; MDTs are its persistence shards.  All MDS
+        # replicas serve the same namespace (hot-standby, not DNE).
+        self.namespace = Namespace(
+            clock=lambda: self._clock(),
+            stripe_allocator=self.oss_pool.allocate_stripe,
+            total_capacity_bytes=self.config.total_capacity_bytes,
+        )
+        self.mds_servers: List[MetadataServer] = [
+            MetadataServer(
+                name=f"mds{i}", config=self.config.mds, namespace=self.namespace
+            )
+            for i in range(self.config.n_mds)
+        ]
+        self._active_index = 0
+        self._failover_ready_at: Optional[float] = None
+        self.clients: List[PFSClient] = []
+        self.failovers = 0
+        #: kind -> op count awaiting replay to the next healthy MDS.
+        self._replay_buffer: dict[str, float] = {}
+        self.replayed_ops = 0.0
+
+    # -- clock ------------------------------------------------------------------
+    def set_clock(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+        for client in self.clients:
+            client.set_clock(clock)
+
+    # -- clients ------------------------------------------------------------------
+    def new_client(self, name: Optional[str] = None) -> PFSClient:
+        client = PFSClient(self, name or f"client{len(self.clients)}")
+        client.set_clock(self._clock)
+        self.clients.append(client)
+        return client
+
+    # -- MDS routing -----------------------------------------------------------------
+    def mds_for_path(self, path: str, now: float) -> Optional[MetadataServer]:
+        """The MDS responsible for ``path``.
+
+        Hot-standby mode ignores the path (one active server).  DNE mode
+        buckets the namespace by its top-level directory: each MDS owns a
+        shard, and a failed server leaves its shard unserved (there is no
+        standby -- the section-II trade-off between capacity and blast
+        radius).
+        """
+        if self.config.mds_mode == "hot-standby":
+            return self.active_mds(now)
+        shard = self._shard_index(path)
+        mds = self.mds_servers[shard]
+        return None if mds.failed else mds
+
+    def _shard_index(self, path: str) -> int:
+        parts = [p for p in path.split("/") if p]
+        top = parts[0] if parts else ""
+        # Stable across processes (unlike hash()) so experiments reproduce.
+        digest = 0
+        for ch in top:
+            digest = (digest * 131 + ord(ch)) % (2**31)
+        return digest % len(self.mds_servers)
+
+    def rename_cost_multiplier(self, src: str, dst: str) -> float:
+        """Cost factor for a rename between ``src`` and ``dst``."""
+        if (
+            self.config.mds_mode == "dne"
+            and self._shard_index(src) != self._shard_index(dst)
+        ):
+            return self.config.cross_mdt_rename_factor
+        return 1.0
+
+    # -- MDS failover --------------------------------------------------------------
+    def active_mds(self, now: float) -> Optional[MetadataServer]:
+        """The MDS currently serving, handling hot-standby takeover.
+
+        Returns None while no replica is available (active failed and the
+        standby is still replaying the MDT state).
+        """
+        active = self.mds_servers[self._active_index]
+        if not active.failed:
+            return active
+        # Active is down: find a healthy standby.
+        standby_index = next(
+            (i for i, m in enumerate(self.mds_servers) if not m.failed), None
+        )
+        if standby_index is None:
+            return None
+        if self._failover_ready_at is None:
+            self._failover_ready_at = now + self.config.failover_delay
+        if now >= self._failover_ready_at:
+            self._active_index = standby_index
+            self._failover_ready_at = None
+            self.failovers += 1
+            return self.mds_servers[self._active_index]
+        return None
+
+    # -- outage replay ------------------------------------------------------------
+    def buffer_for_replay(self, kind: str, count: float) -> None:
+        """Hold an operation issued during an outage for later replay."""
+        if not self.config.replay_on_failover or count <= 0:
+            return
+        self._replay_buffer[kind] = self._replay_buffer.get(kind, 0.0) + count
+
+    @property
+    def pending_replay_ops(self) -> float:
+        return sum(self._replay_buffer.values())
+
+    def _flush_replay(self, mds: MetadataServer, now: float) -> None:
+        """Deliver the whole outage backlog to the recovered server.
+
+        Real clients replay their queued requests as fast as the network
+        allows, so the backlog arrives as one burst -- the recovery storm
+        the failover experiment studies.
+        """
+        if not self._replay_buffer:
+            return
+        buffered = self._replay_buffer
+        self._replay_buffer = {}
+        for kind, count in buffered.items():
+            try:
+                mds.offer(kind, count, now)
+                self.replayed_ops += count
+            except MDSUnavailable:  # died mid-replay: keep the rest queued
+                self.buffer_for_replay(kind, count)
+
+    # -- service loop ------------------------------------------------------------
+    def service(self, now: float, dt: float) -> float:
+        """Advance all servers by one tick; returns metadata ops served."""
+        served = 0.0
+        if self.config.mds_mode == "dne":
+            for mds in self.mds_servers:
+                if not mds.failed:
+                    served += mds.service(now, dt)
+        else:
+            mds = self.active_mds(now)
+            if mds is not None:
+                self._flush_replay(mds, now)
+                served = mds.service(now, dt)
+        self.oss_pool.service(now, dt)
+        return served
+
+    # -- monitoring hooks ---------------------------------------------------------
+    def metadata_capacity_opsps(self, kind: str = "getattr") -> float:
+        """Nominal MDS throughput in ops/s if the load were all ``kind``."""
+        from repro.pfs.costs import op_cost
+
+        return self.config.mds.capacity / op_cost(kind)

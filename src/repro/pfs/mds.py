@@ -1,0 +1,263 @@
+"""Metadata server model: capacity, queueing, saturation, failure.
+
+The MDS serves metadata operations at a fixed capacity measured in *cost
+units per second* (see :mod:`repro.pfs.costs`).  Offered work beyond the
+capacity queues; a deep queue degrades service (lock thrashing, RPC
+timeouts); sustained overload fails the server -- the "harm" the paper's
+title is about.  A hot-standby MDS (PFS_A's configuration) can take over
+after a failover delay, losing the queued work.
+
+Two APIs are exposed:
+
+* the **fluid** API (:meth:`offer` / :meth:`service`) used by the
+  experiment harness at 10^5-10^6 ops/s scale; arithmetic over a tick is
+  closed-form, so this path is exact, not approximate;
+* the **discrete** API (:meth:`execute`) that applies a single operation to
+  the backing :class:`~repro.pfs.namespace.Namespace` under the lock table,
+  used by correctness tests and small-scale simulations.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.errors import ConfigError, MDSUnavailable
+from repro.pfs.costs import op_cost
+from repro.pfs.locks import LockMode, LockTable
+from repro.pfs.namespace import Namespace
+
+__all__ = ["MDSConfig", "MetadataServer"]
+
+
+@dataclass(slots=True)
+class MDSConfig:
+    """Capacity and failure-behaviour knobs.
+
+    Defaults are calibrated so that an all-getattr workload saturates at
+    ``capacity`` ops/s, matching how we quote MDS capacity in KOps/s
+    throughout the experiments.
+    """
+
+    #: Service capacity in cost units per second.
+    capacity: float = 1_000_000.0
+    #: Queue depth (in seconds of work at full capacity) beyond which the
+    #: server degrades: clients see growing latency and reduced throughput.
+    degrade_after: float = 2.0
+    #: Fraction of capacity retained while degraded (lock thrashing).
+    degrade_factor: float = 0.6
+    #: Continuous seconds of degraded operation after which the MDS fails.
+    fail_after: float = 30.0
+    #: Whether the server can fail at all (False = infinitely patient MDS).
+    can_fail: bool = True
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ConfigError(f"MDS capacity must be positive, got {self.capacity}")
+        if self.degrade_after < 0:
+            raise ConfigError(
+                f"degrade_after must be >= 0, got {self.degrade_after}"
+            )
+        if not 0 < self.degrade_factor <= 1:
+            raise ConfigError(
+                f"degrade_factor must be in (0, 1], got {self.degrade_factor}"
+            )
+        if self.fail_after <= 0:
+            raise ConfigError(f"fail_after must be positive, got {self.fail_after}")
+
+
+@dataclass(slots=True)
+class _Batch:
+    kind: str
+    count: float
+    cost_per_op: float
+    arrived: float
+
+
+class MetadataServer:
+    """One MDS instance backed by (a subtree of) a namespace."""
+
+    def __init__(
+        self,
+        name: str = "mds0",
+        config: Optional[MDSConfig] = None,
+        namespace: Optional[Namespace] = None,
+    ) -> None:
+        self.name = name
+        self.config = config or MDSConfig()
+        self.namespace = namespace if namespace is not None else Namespace()
+        self.locks = LockTable()
+        self._queue: Deque[_Batch] = deque()
+        self._queued_units = 0.0
+        self._degraded_since: Optional[float] = None
+        self.failed = False
+        self.failed_at: Optional[float] = None
+        #: Served operation counts per kind (cumulative).
+        self.served: Dict[str, float] = {}
+        #: Served counts per kind since the last take_window() call.
+        self._window: Dict[str, float] = {}
+        #: Sum of (completion latency * ops) for mean-latency reporting.
+        self._latency_ops = 0.0
+        self._latency_sum = 0.0
+
+    # -- state inspection ------------------------------------------------------
+    @property
+    def queued_units(self) -> float:
+        """Backlogged work in cost units."""
+        return self._queued_units
+
+    @property
+    def queue_delay(self) -> float:
+        """Seconds of work currently queued (at nominal capacity)."""
+        return self._queued_units / self.config.capacity
+
+    @property
+    def degraded(self) -> bool:
+        return self._degraded_since is not None
+
+    @property
+    def available(self) -> bool:
+        return not self.failed
+
+    def mean_latency(self) -> float:
+        """Mean completion latency over everything served so far."""
+        if self._latency_ops == 0:
+            return 0.0
+        return self._latency_sum / self._latency_ops
+
+    def take_window(self) -> Dict[str, float]:
+        """Return and reset the per-kind served counts (monitoring hook)."""
+        window = self._window
+        self._window = {}
+        return window
+
+    # -- fluid path -------------------------------------------------------------
+    def offer(self, kind: str, count: float, now: float) -> None:
+        """Enqueue ``count`` operations of ``kind`` arriving at ``now``."""
+        if self.failed:
+            raise MDSUnavailable(f"{self.name} has failed")
+        if count <= 0:
+            return
+        cost = op_cost(kind)
+        if cost == 0.0:
+            # Data kinds don't touch the MDS; serving them is free here.
+            self._record(kind, count, latency=0.0)
+            return
+        self._queue.append(_Batch(kind=kind, count=count, cost_per_op=cost, arrived=now))
+        self._queued_units += cost * count
+
+    def service(self, now: float, dt: float) -> float:
+        """Serve up to one tick's worth of queued work; returns ops served.
+
+        ``now`` is the *start* of the tick.  Degradation state updates
+        before serving, so a tick that begins overloaded is served at the
+        degraded rate for its whole duration (conservative, and stable
+        under any tick size).
+        """
+        if dt <= 0:
+            raise ConfigError(f"service dt must be positive, got {dt}")
+        if self.failed:
+            return 0.0
+        self._update_degradation(now, dt)
+        if self.failed:
+            return 0.0
+        rate = self.config.capacity
+        if self.degraded:
+            rate *= self.config.degrade_factor
+        budget = rate * dt
+        served_ops = 0.0
+        while budget > 1e-12 and self._queue:
+            head = self._queue[0]
+            head_units = head.cost_per_op * head.count
+            if head_units <= budget:
+                self._queue.popleft()
+                budget -= head_units
+                self._queued_units -= head_units
+                self._record(head.kind, head.count, latency=max(0.0, now - head.arrived))
+                served_ops += head.count
+            else:
+                take_ops = budget / head.cost_per_op
+                head.count -= take_ops
+                self._queued_units -= budget
+                self._record(head.kind, take_ops, latency=max(0.0, now - head.arrived))
+                served_ops += take_ops
+                budget = 0.0
+        # Clamp accumulated float error.
+        if not self._queue:
+            self._queued_units = 0.0
+        return served_ops
+
+    def _update_degradation(self, now: float, dt: float) -> None:
+        if self.queue_delay > self.config.degrade_after:
+            if self._degraded_since is None:
+                self._degraded_since = now
+            elif (
+                self.config.can_fail
+                and now - self._degraded_since >= self.config.fail_after
+            ):
+                self.fail(now)
+        else:
+            self._degraded_since = None
+
+    def fail(self, now: float) -> None:
+        """Crash the server; queued operations are lost."""
+        self.failed = True
+        self.failed_at = now
+        self._queue.clear()
+        self._queued_units = 0.0
+        self._degraded_since = None
+
+    def recover(self) -> None:
+        """Bring a failed server back (empty queue, clean state)."""
+        self.failed = False
+        self.failed_at = None
+        self._degraded_since = None
+
+    def _record(self, kind: str, count: float, latency: float) -> None:
+        self.served[kind] = self.served.get(kind, 0.0) + count
+        self._window[kind] = self._window.get(kind, 0.0) + count
+        self._latency_ops += count
+        self._latency_sum += latency * count
+
+    # -- discrete path ------------------------------------------------------------
+    #: operation kind -> lock mode taken on the affected entries.
+    _LOCKS: Dict[str, LockMode] = {
+        "getattr": LockMode.READ,
+        "statfs": LockMode.READ,
+        "open": LockMode.WRITE,
+        "close": LockMode.WRITE,
+        "setattr": LockMode.WRITE,
+        "rename": LockMode.WRITE,
+        "unlink": LockMode.WRITE,
+        "link": LockMode.WRITE,
+        "mkdir": LockMode.WRITE,
+        "mknod": LockMode.WRITE,
+        "rmdir": LockMode.WRITE,
+        "sync": LockMode.READ,
+    }
+
+    def execute(self, kind: str, now: float, *args, **kwargs):
+        """Apply one operation to the namespace under the lock table.
+
+        Raises :class:`MDSUnavailable` when failed.  The caller names the
+        namespace method via ``kind``-specific arguments, e.g.
+        ``execute("rename", now, "/a", "/b")``.
+        """
+        if self.failed:
+            raise MDSUnavailable(f"{self.name} has failed")
+        mode = self._LOCKS.get(kind)
+        if mode is None:
+            raise ConfigError(f"unknown MDS operation kind {kind!r}")
+        paths = [a for a in args if isinstance(a, str) and a.startswith("/")] or ["/"]
+        grant = self.locks.acquire(paths, mode)
+        try:
+            method = getattr(self.namespace, kind, None)
+            if method is None:
+                raise ConfigError(f"namespace has no handler for {kind!r}")
+            result = method(*args, **kwargs)
+        finally:
+            self.locks.release(grant)
+        self._record(kind, 1.0, latency=0.0)
+        return result

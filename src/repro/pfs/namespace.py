@@ -1,0 +1,543 @@
+"""In-memory POSIX namespace: the MDT's persistent state.
+
+Implements the metadata semantics the PADLL surface needs -- create/open/
+close, stat family, rename (atomic, including cross-directory), link/
+unlink/symlink, mkdir/rmdir/readdir, chmod/chown/truncate, the xattr
+family, and statfs -- with errno-style exceptions from
+:mod:`repro.errors`.  The namespace is deliberately a real data structure
+(inode table + dentry maps), not counters: correctness tests exercise it
+directly and the live interposition layer can run against it as a fake FS.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import posixpath
+import stat as stat_module
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import (
+    ConfigError,
+    DirectoryNotEmpty,
+    EntryExists,
+    InvalidHandle,
+    IsADirectoryEntry,
+    NamespaceError,
+    NoSuchEntry,
+    NotADirectoryEntry,
+)
+
+__all__ = ["FileKind", "Inode", "OpenHandle", "StatResult", "Namespace"]
+
+
+class FileKind(enum.Enum):
+    """What a namespace inode is: regular file, directory, or symlink."""
+
+    FILE = "file"
+    DIRECTORY = "directory"
+    SYMLINK = "symlink"
+
+
+@dataclass(slots=True)
+class Inode:
+    """One namespace object.  ``stripe`` lists the OST indices holding the
+    file's objects (assigned capacity-balanced at create time, as the paper
+    describes the MDS doing)."""
+
+    ino: int
+    kind: FileKind
+    mode: int = 0o644
+    uid: int = 0
+    gid: int = 0
+    size: int = 0
+    nlink: int = 1
+    atime: float = 0.0
+    mtime: float = 0.0
+    ctime: float = 0.0
+    xattrs: Dict[str, bytes] = field(default_factory=dict)
+    stripe: Tuple[int, ...] = ()
+    #: Symlink target (symlinks only).
+    target: str = ""
+    #: Children name -> ino (directories only).
+    entries: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def is_dir(self) -> bool:
+        return self.kind is FileKind.DIRECTORY
+
+
+@dataclass(frozen=True, slots=True)
+class StatResult:
+    """Snapshot returned by the stat family."""
+
+    ino: int
+    kind: FileKind
+    mode: int
+    uid: int
+    gid: int
+    size: int
+    nlink: int
+    atime: float
+    mtime: float
+    ctime: float
+    stripe: Tuple[int, ...]
+
+
+@dataclass(slots=True)
+class OpenHandle:
+    """An open file descriptor."""
+
+    fd: int
+    ino: int
+    path: str
+    flags: int = 0
+    offset: int = 0
+    closed: bool = False
+
+
+def _split(path: str) -> List[str]:
+    path = posixpath.normpath(path)
+    if not path.startswith("/"):
+        raise NamespaceError(f"paths must be absolute, got {path!r}")
+    if path == "/":
+        return []
+    return [p for p in path.split("/") if p]
+
+
+class Namespace:
+    """The metadata state of one file system (or one MDT's subtree).
+
+    ``stripe_allocator`` is called at file-create time with the requested
+    stripe count and must return OST indices; the cluster wires this to the
+    OSS pool's capacity-balanced allocator.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        stripe_allocator: Optional[Callable[[int], Tuple[int, ...]]] = None,
+        default_stripe_count: int = 1,
+        total_capacity_bytes: int = 9_500 * 2**40,  # PFS_A provides 9.5 PiB
+    ) -> None:
+        if default_stripe_count < 1:
+            raise ConfigError(
+                f"default stripe count must be >= 1, got {default_stripe_count}"
+            )
+        self._clock = clock or (lambda: 0.0)
+        self._stripe_allocator = stripe_allocator or (lambda n: tuple(range(n)))
+        self.default_stripe_count = default_stripe_count
+        self.total_capacity_bytes = total_capacity_bytes
+        self._ino_counter = itertools.count(1)
+        self._fd_counter = itertools.count(3)  # 0-2 reserved, as on a real host
+        root_ino = next(self._ino_counter)
+        self._inodes: Dict[int, Inode] = {
+            root_ino: Inode(ino=root_ino, kind=FileKind.DIRECTORY, mode=0o755, nlink=2)
+        }
+        self._root = root_ino
+        self._handles: Dict[int, OpenHandle] = {}
+        #: Per-kind operation counters (what LustrePerfMon would report).
+        self.op_counts: Dict[str, int] = {}
+
+    # -- internals ----------------------------------------------------------
+    def _count(self, kind: str) -> None:
+        self.op_counts[kind] = self.op_counts.get(kind, 0) + 1
+
+    def _now(self) -> float:
+        return self._clock()
+
+    def _get(self, ino: int) -> Inode:
+        try:
+            return self._inodes[ino]
+        except KeyError:  # pragma: no cover - internal invariant
+            raise NamespaceError(f"dangling inode {ino}") from None
+
+    def _lookup_dir(self, parts: List[str]) -> Inode:
+        """Walk all of ``parts`` expecting directories throughout."""
+        node = self._get(self._root)
+        for part in parts:
+            if not node.is_dir:
+                raise NotADirectoryEntry("/" + "/".join(parts))
+            child = node.entries.get(part)
+            if child is None:
+                raise NoSuchEntry("/" + "/".join(parts))
+            node = self._get(child)
+        return node
+
+    def _resolve_parent(self, path: str) -> Tuple[Inode, str]:
+        parts = _split(path)
+        if not parts:
+            raise NamespaceError("operation needs a non-root path")
+        parent = self._lookup_dir(parts[:-1])
+        if not parent.is_dir:
+            raise NotADirectoryEntry(path)
+        return parent, parts[-1]
+
+    def _resolve(self, path: str, follow: bool = True, _depth: int = 0) -> Inode:
+        if _depth > 16:
+            raise NamespaceError(f"too many levels of symbolic links: {path!r}")
+        parts = _split(path)
+        if not parts:
+            return self._get(self._root)
+        parent = self._lookup_dir(parts[:-1])
+        child_ino = parent.entries.get(parts[-1])
+        if child_ino is None:
+            raise NoSuchEntry(path)
+        node = self._get(child_ino)
+        if follow and node.kind is FileKind.SYMLINK:
+            target = node.target
+            if not target.startswith("/"):
+                target = posixpath.join(posixpath.dirname(path), target)
+            return self._resolve(target, follow=True, _depth=_depth + 1)
+        return node
+
+    # -- queries ------------------------------------------------------------
+    @property
+    def inode_count(self) -> int:
+        return len(self._inodes)
+
+    @property
+    def open_handle_count(self) -> int:
+        return len(self._handles)
+
+    def exists(self, path: str) -> bool:
+        try:
+            self._resolve(path)
+            return True
+        except NamespaceError:
+            return False
+
+    def used_bytes(self) -> int:
+        return sum(
+            i.size for i in self._inodes.values() if i.kind is FileKind.FILE
+        )
+
+    # -- metadata operations --------------------------------------------------
+    def create(self, path: str, mode: int = 0o644, stripe_count: Optional[int] = None) -> int:
+        """Create a regular file; returns an open fd (like creat)."""
+        parent, name = self._resolve_parent(path)
+        if name in parent.entries:
+            raise EntryExists(path)
+        count = stripe_count if stripe_count is not None else self.default_stripe_count
+        ino = next(self._ino_counter)
+        now = self._now()
+        self._inodes[ino] = Inode(
+            ino=ino,
+            kind=FileKind.FILE,
+            mode=mode,
+            atime=now,
+            mtime=now,
+            ctime=now,
+            stripe=tuple(self._stripe_allocator(count)),
+        )
+        parent.entries[name] = ino
+        parent.mtime = now
+        self._count("open")  # creat maps to the open MDS kind
+        return self._open_ino(ino, path)
+
+    def open(self, path: str, create: bool = False, mode: int = 0o644) -> int:
+        """Open an existing file (optionally creating it); returns an fd."""
+        try:
+            node = self._resolve(path)
+        except NoSuchEntry:
+            if not create:
+                raise
+            return self.create(path, mode=mode)
+        if node.is_dir:
+            raise IsADirectoryEntry(path)
+        node.atime = self._now()
+        self._count("open")
+        return self._open_ino(node.ino, path)
+
+    def _open_ino(self, ino: int, path: str) -> int:
+        fd = next(self._fd_counter)
+        self._handles[fd] = OpenHandle(fd=fd, ino=ino, path=path)
+        return fd
+
+    def close(self, fd: int) -> None:
+        handle = self._handles.pop(fd, None)
+        if handle is None or handle.closed:
+            raise InvalidHandle(f"fd {fd}")
+        handle.closed = True
+        self._count("close")
+
+    def handle(self, fd: int) -> OpenHandle:
+        handle = self._handles.get(fd)
+        if handle is None:
+            raise InvalidHandle(f"fd {fd}")
+        return handle
+
+    def getattr(self, path: str, follow: bool = True) -> StatResult:
+        node = self._resolve(path, follow=follow)
+        self._count("getattr")
+        return StatResult(
+            ino=node.ino,
+            kind=node.kind,
+            mode=node.mode,
+            uid=node.uid,
+            gid=node.gid,
+            size=node.size,
+            nlink=node.nlink,
+            atime=node.atime,
+            mtime=node.mtime,
+            ctime=node.ctime,
+            stripe=node.stripe,
+        )
+
+    def fgetattr(self, fd: int) -> StatResult:
+        handle = self.handle(fd)
+        node = self._get(handle.ino)
+        self._count("getattr")
+        return StatResult(
+            ino=node.ino, kind=node.kind, mode=node.mode, uid=node.uid,
+            gid=node.gid, size=node.size, nlink=node.nlink, atime=node.atime,
+            mtime=node.mtime, ctime=node.ctime, stripe=node.stripe,
+        )
+
+    def setattr(
+        self,
+        path: str,
+        mode: Optional[int] = None,
+        uid: Optional[int] = None,
+        gid: Optional[int] = None,
+        size: Optional[int] = None,
+        mtime: Optional[float] = None,
+    ) -> None:
+        node = self._resolve(path)
+        now = self._now()
+        if mode is not None:
+            node.mode = mode
+        if uid is not None:
+            node.uid = uid
+        if gid is not None:
+            node.gid = gid
+        if size is not None:
+            if node.is_dir:
+                raise IsADirectoryEntry(path)
+            if size < 0:
+                raise NamespaceError(f"truncate to negative size {size}")
+            node.size = size
+        if mtime is not None:
+            node.mtime = mtime
+        node.ctime = now
+        self._count("setattr")
+
+    def rename(self, src: str, dst: str) -> None:
+        """Atomic rename; replaces an existing non-directory target."""
+        src_parent, src_name = self._resolve_parent(src)
+        dst_parent, dst_name = self._resolve_parent(dst)
+        src_ino = src_parent.entries.get(src_name)
+        if src_ino is None:
+            raise NoSuchEntry(src)
+        node = self._get(src_ino)
+        existing = dst_parent.entries.get(dst_name)
+        if existing is not None:
+            if existing == src_ino:
+                self._count("rename")
+                return
+            target = self._get(existing)
+            if target.is_dir:
+                if not node.is_dir:
+                    raise IsADirectoryEntry(dst)
+                if target.entries:
+                    raise DirectoryNotEmpty(dst)
+                del self._inodes[existing]
+                dst_parent.nlink -= 1
+            else:
+                if node.is_dir:
+                    raise NotADirectoryEntry(dst)
+                target.nlink -= 1
+                if target.nlink <= 0:
+                    del self._inodes[existing]
+        # The two dentry updates below are the atomic step a real MDS
+        # serialises under write locks on both parents.
+        del src_parent.entries[src_name]
+        dst_parent.entries[dst_name] = src_ino
+        if node.is_dir and src_parent.ino != dst_parent.ino:
+            src_parent.nlink -= 1
+            dst_parent.nlink += 1
+        now = self._now()
+        src_parent.mtime = now
+        dst_parent.mtime = now
+        node.ctime = now
+        self._count("rename")
+
+    def link(self, src: str, dst: str) -> None:
+        node = self._resolve(src, follow=False)
+        if node.is_dir:
+            raise IsADirectoryEntry(src)
+        parent, name = self._resolve_parent(dst)
+        if name in parent.entries:
+            raise EntryExists(dst)
+        parent.entries[name] = node.ino
+        node.nlink += 1
+        node.ctime = self._now()
+        self._count("link")
+
+    def symlink(self, target: str, linkpath: str) -> None:
+        parent, name = self._resolve_parent(linkpath)
+        if name in parent.entries:
+            raise EntryExists(linkpath)
+        ino = next(self._ino_counter)
+        now = self._now()
+        self._inodes[ino] = Inode(
+            ino=ino, kind=FileKind.SYMLINK, target=target,
+            atime=now, mtime=now, ctime=now, size=len(target),
+        )
+        parent.entries[name] = ino
+        self._count("link")
+
+    def readlink(self, path: str) -> str:
+        node = self._resolve(path, follow=False)
+        if node.kind is not FileKind.SYMLINK:
+            raise NamespaceError(f"not a symlink: {path!r}")
+        self._count("getattr")
+        return node.target
+
+    def unlink(self, path: str) -> None:
+        parent, name = self._resolve_parent(path)
+        ino = parent.entries.get(name)
+        if ino is None:
+            raise NoSuchEntry(path)
+        node = self._get(ino)
+        if node.is_dir:
+            raise IsADirectoryEntry(path)
+        del parent.entries[name]
+        node.nlink -= 1
+        if node.nlink <= 0:
+            del self._inodes[ino]
+        parent.mtime = self._now()
+        self._count("unlink")
+
+    def mkdir(self, path: str, mode: int = 0o755) -> None:
+        parent, name = self._resolve_parent(path)
+        if name in parent.entries:
+            raise EntryExists(path)
+        ino = next(self._ino_counter)
+        now = self._now()
+        self._inodes[ino] = Inode(
+            ino=ino, kind=FileKind.DIRECTORY, mode=mode, nlink=2,
+            atime=now, mtime=now, ctime=now,
+        )
+        parent.entries[name] = ino
+        parent.nlink += 1
+        parent.mtime = now
+        self._count("mkdir")
+
+    def mknod(self, path: str, mode: int = 0o644) -> None:
+        """Create a file node without opening it."""
+        parent, name = self._resolve_parent(path)
+        if name in parent.entries:
+            raise EntryExists(path)
+        ino = next(self._ino_counter)
+        now = self._now()
+        self._inodes[ino] = Inode(
+            ino=ino, kind=FileKind.FILE, mode=mode,
+            atime=now, mtime=now, ctime=now,
+            stripe=tuple(self._stripe_allocator(self.default_stripe_count)),
+        )
+        parent.entries[name] = ino
+        parent.mtime = now
+        self._count("mknod")
+
+    def rmdir(self, path: str) -> None:
+        parent, name = self._resolve_parent(path)
+        ino = parent.entries.get(name)
+        if ino is None:
+            raise NoSuchEntry(path)
+        node = self._get(ino)
+        if not node.is_dir:
+            raise NotADirectoryEntry(path)
+        if node.entries:
+            raise DirectoryNotEmpty(path)
+        del parent.entries[name]
+        del self._inodes[ino]
+        parent.nlink -= 1
+        parent.mtime = self._now()
+        self._count("rmdir")
+
+    def readdir(self, path: str) -> List[str]:
+        node = self._resolve(path)
+        if not node.is_dir:
+            raise NotADirectoryEntry(path)
+        self._count("getattr")
+        return sorted(node.entries)
+
+    def statfs(self) -> Dict[str, int]:
+        self._count("statfs")
+        used = self.used_bytes()
+        return {
+            "total_bytes": self.total_capacity_bytes,
+            "free_bytes": max(0, self.total_capacity_bytes - used),
+            "inodes": self.inode_count,
+        }
+
+    def sync(self) -> None:
+        """Flush namespace state (a no-op with accounting, as for tmpfs)."""
+        self._count("sync")
+
+    # -- extended attributes ---------------------------------------------------
+    def setxattr(self, path: str, name: str, value: bytes) -> None:
+        if not name:
+            raise NamespaceError("xattr name must be non-empty")
+        node = self._resolve(path)
+        node.xattrs[name] = bytes(value)
+        node.ctime = self._now()
+        self._count("setattr")
+
+    def getxattr(self, path: str, name: str) -> bytes:
+        node = self._resolve(path)
+        self._count("getattr")
+        try:
+            return node.xattrs[name]
+        except KeyError:
+            raise NoSuchEntry(f"xattr {name!r} on {path!r}") from None
+
+    def listxattr(self, path: str) -> List[str]:
+        node = self._resolve(path)
+        self._count("getattr")
+        return sorted(node.xattrs)
+
+    def removexattr(self, path: str, name: str) -> None:
+        node = self._resolve(path)
+        if name not in node.xattrs:
+            raise NoSuchEntry(f"xattr {name!r} on {path!r}")
+        del node.xattrs[name]
+        node.ctime = self._now()
+        self._count("setattr")
+
+    # -- data-plane hooks (size bookkeeping; bytes live on OSTs) ----------------
+    def apply_write(self, fd: int, nbytes: int) -> None:
+        """Extend the file to cover a sequential write of ``nbytes``."""
+        if nbytes < 0:
+            raise NamespaceError(f"write of negative size {nbytes}")
+        handle = self.handle(fd)
+        node = self._get(handle.ino)
+        handle.offset += nbytes
+        node.size = max(node.size, handle.offset)
+        node.mtime = self._now()
+
+    def apply_read(self, fd: int, nbytes: int) -> int:
+        """Advance the handle over a sequential read; returns bytes read."""
+        if nbytes < 0:
+            raise NamespaceError(f"read of negative size {nbytes}")
+        handle = self.handle(fd)
+        node = self._get(handle.ino)
+        available = max(0, node.size - handle.offset)
+        got = min(nbytes, available)
+        handle.offset += got
+        node.atime = self._now()
+        return got
+
+    def walk(self) -> Iterator[Tuple[str, Inode]]:
+        """Yield every (path, inode) pair, depth-first from the root."""
+        stack: List[Tuple[str, int]] = [("/", self._root)]
+        while stack:
+            path, ino = stack.pop()
+            node = self._get(ino)
+            yield path, node
+            if node.is_dir:
+                for name, child in sorted(node.entries.items(), reverse=True):
+                    child_path = path.rstrip("/") + "/" + name
+                    stack.append((child_path, child))

@@ -1,0 +1,208 @@
+"""Object storage servers and targets: the PFS data path.
+
+Files are striped over OSTs; the MDS assigns OSTs to new files in a
+capacity-balanced manner (the allocator below picks the least-used
+targets, as the paper describes).  OSSs serve read/write bytes at a fixed
+aggregate bandwidth per server with a shared queue, which is all Fig. 4's
+data panels need: an offered-vs-served byte rate with saturation.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+
+__all__ = ["OSTarget", "ObjectStoragePool"]
+
+
+@dataclass(slots=True)
+class OSTarget:
+    """One OST: a capacity bucket tracking allocated bytes."""
+
+    index: int
+    capacity_bytes: int
+    used_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ConfigError(
+                f"OST capacity must be positive, got {self.capacity_bytes}"
+            )
+
+    @property
+    def free_bytes(self) -> int:
+        return max(0, self.capacity_bytes - self.used_bytes)
+
+    @property
+    def fill_fraction(self) -> float:
+        return self.used_bytes / self.capacity_bytes
+
+
+@dataclass(slots=True)
+class _IOBatch:
+    kind: str  # "read" | "write"
+    nbytes: float
+    arrived: float
+
+
+class ObjectStoragePool:
+    """A set of OSSs fronting OSTs, with a fluid byte-rate service model."""
+
+    def __init__(
+        self,
+        n_oss: int = 4,
+        n_ost: int = 36,
+        ost_capacity_bytes: int = 9_500 * 2**40 // 36,
+        oss_bandwidth: float = 10 * 2**30,  # bytes/s per OSS
+    ) -> None:
+        if n_oss <= 0 or n_ost <= 0:
+            raise ConfigError("need at least one OSS and one OST")
+        if n_ost < n_oss:
+            raise ConfigError(f"fewer OSTs ({n_ost}) than OSSs ({n_oss})")
+        if oss_bandwidth <= 0:
+            raise ConfigError(f"OSS bandwidth must be positive, got {oss_bandwidth}")
+        self.n_oss = n_oss
+        self.oss_bandwidth = float(oss_bandwidth)
+        self.targets: List[OSTarget] = [
+            OSTarget(index=i, capacity_bytes=ost_capacity_bytes) for i in range(n_ost)
+        ]
+        self._queue: Deque[_IOBatch] = deque()
+        self._queued_bytes = 0.0
+        self.served_bytes: Dict[str, float] = {"read": 0.0, "write": 0.0}
+        self._window_bytes: Dict[str, float] = {"read": 0.0, "write": 0.0}
+        # Per-OST queues for stripe-routed traffic (offer_striped): each
+        # OST serves at the aggregate bandwidth divided evenly across OSTs,
+        # so a hot OST bottlenecks files striped over it while the pool as
+        # a whole stays underused -- real stripe contention.
+        self._ost_queues: List[Deque[_IOBatch]] = [deque() for _ in range(n_ost)]
+        self._ost_queued: List[float] = [0.0] * n_ost
+        self.ost_served_bytes: List[float] = [0.0] * n_ost
+
+    # -- allocation (called by the MDS at create time) ---------------------------
+    def allocate_stripe(self, stripe_count: int) -> Tuple[int, ...]:
+        """Pick ``stripe_count`` OSTs, least-filled first (capacity balance)."""
+        if stripe_count <= 0:
+            raise ConfigError(f"stripe count must be positive, got {stripe_count}")
+        if stripe_count > len(self.targets):
+            raise ConfigError(
+                f"stripe count {stripe_count} exceeds OST count {len(self.targets)}"
+            )
+        order = sorted(self.targets, key=lambda t: (t.fill_fraction, t.index))
+        return tuple(t.index for t in order[:stripe_count])
+
+    def record_allocation(self, stripe: Tuple[int, ...], nbytes: int) -> None:
+        """Account ``nbytes`` spread evenly over a file's stripe."""
+        if nbytes < 0:
+            raise ConfigError(f"allocation of negative size {nbytes}")
+        if not stripe:
+            return
+        share = nbytes // len(stripe)
+        for idx in stripe:
+            self.targets[idx].used_bytes += share
+
+    # -- fluid data path ------------------------------------------------------------
+    @property
+    def total_bandwidth(self) -> float:
+        return self.n_oss * self.oss_bandwidth
+
+    @property
+    def queued_bytes(self) -> float:
+        return self._queued_bytes
+
+    def offer(self, kind: str, nbytes: float, now: float) -> None:
+        """Enqueue a read or write of ``nbytes`` arriving at ``now``."""
+        if kind not in ("read", "write"):
+            raise ConfigError(f"unknown data operation kind {kind!r}")
+        if nbytes <= 0:
+            return
+        self._queue.append(_IOBatch(kind=kind, nbytes=nbytes, arrived=now))
+        self._queued_bytes += nbytes
+
+    def service(self, now: float, dt: float) -> float:
+        """Serve queued bytes at aggregate bandwidth; returns bytes served."""
+        if dt <= 0:
+            raise ConfigError(f"service dt must be positive, got {dt}")
+        budget = self.total_bandwidth * dt
+        served = 0.0
+        while budget > 1e-9 and self._queue:
+            head = self._queue[0]
+            if head.nbytes <= budget:
+                self._queue.popleft()
+                budget -= head.nbytes
+                served += head.nbytes
+                self._account(head.kind, head.nbytes)
+            else:
+                head.nbytes -= budget
+                served += budget
+                self._account(head.kind, budget)
+                budget = 0.0
+        self._queued_bytes = max(0.0, self._queued_bytes - served)
+        if not self._queue:
+            self._queued_bytes = 0.0
+        return served
+
+    # -- per-OST (stripe-routed) data path -----------------------------------------
+    @property
+    def per_ost_bandwidth(self) -> float:
+        """Each OST's service rate (the pool bandwidth split evenly)."""
+        return self.total_bandwidth / len(self.targets)
+
+    def offer_striped(
+        self, kind: str, nbytes: float, stripe: Tuple[int, ...], now: float
+    ) -> None:
+        """Enqueue an I/O spread evenly over a file's stripe OSTs."""
+        if kind not in ("read", "write"):
+            raise ConfigError(f"unknown data operation kind {kind!r}")
+        if not stripe:
+            raise ConfigError("striped offer needs a non-empty stripe")
+        for idx in stripe:
+            if not 0 <= idx < len(self.targets):
+                raise ConfigError(f"OST index {idx} out of range")
+        if nbytes <= 0:
+            return
+        share = nbytes / len(stripe)
+        for idx in stripe:
+            self._ost_queues[idx].append(
+                _IOBatch(kind=kind, nbytes=share, arrived=now)
+            )
+            self._ost_queued[idx] += share
+
+    def ost_queue_bytes(self, index: int) -> float:
+        return self._ost_queued[index]
+
+    def service_striped(self, now: float, dt: float) -> float:
+        """Serve every OST's queue at its own bandwidth; returns bytes."""
+        if dt <= 0:
+            raise ConfigError(f"service dt must be positive, got {dt}")
+        per_ost_budget = self.per_ost_bandwidth * dt
+        served_total = 0.0
+        for idx, queue in enumerate(self._ost_queues):
+            budget = per_ost_budget
+            while budget > 1e-9 and queue:
+                head = queue[0]
+                take = min(head.nbytes, budget)
+                head.nbytes -= take
+                budget -= take
+                served_total += take
+                self._ost_queued[idx] -= take
+                self.ost_served_bytes[idx] += take
+                self._account(head.kind, take)
+                if head.nbytes <= 1e-9:
+                    queue.popleft()
+            if not queue:
+                self._ost_queued[idx] = 0.0
+        return served_total
+
+    def _account(self, kind: str, nbytes: float) -> None:
+        self.served_bytes[kind] += nbytes
+        self._window_bytes[kind] += nbytes
+
+    def take_window(self) -> Dict[str, float]:
+        """Return and reset per-kind served bytes (monitoring hook)."""
+        window = self._window_bytes
+        self._window_bytes = {"read": 0.0, "write": 0.0}
+        return window

@@ -1,0 +1,397 @@
+"""Core discrete-event engine: environment, events, processes.
+
+Design notes
+------------
+The engine is deliberately small.  Events are scheduled on a binary heap
+keyed by ``(time, priority, sequence)``; the sequence number makes ordering
+deterministic for events scheduled at the same instant, which in turn makes
+every experiment in this repository bit-reproducible for a fixed seed.
+
+Processes are plain generators.  ``yield timeout`` suspends the process;
+``yield event`` suspends until someone calls :meth:`Event.succeed` (or
+``fail``); ``yield other_process`` joins on that process' termination.
+This is the same contract as SimPy's, which keeps simulation code legible
+(the "make it work in a simple legible way" rule from the optimisation
+workflow we follow).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import ProcessKilled, SimulationError
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AnyOf",
+    "AllOf",
+]
+
+#: Default priority for scheduled events.  Lower fires first at equal time.
+NORMAL = 1
+#: Priority used by Timeout events so that explicit succeed() callbacks
+#: scheduled "now" run before the clock advances past them.
+URGENT = 0
+
+
+class Event:
+    """A one-shot occurrence that callbacks (and processes) can wait on.
+
+    An event starts *pending*; calling :meth:`succeed` or :meth:`fail`
+    *triggers* it, scheduling its callbacks to run at the current simulated
+    time.  Triggering twice is an error -- that invariant catches a whole
+    class of double-completion bugs in protocol code.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._processed = False
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once succeed()/fail() has been called."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once the engine has run this event's callbacks."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True when the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value passed to succeed()/fail()."""
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Mark the event successful and schedule its callbacks now."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._triggered = True
+        self._value = value
+        self.env._schedule(self, NORMAL)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Mark the event failed; waiters will see ``exception`` raised."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() needs an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, NORMAL)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "processed"
+            if self._processed
+            else ("triggered" if self._triggered else "pending")
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically after ``delay`` simulated seconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        env._schedule(self, URGENT, delay=delay)
+
+
+class Interrupt(Exception):
+    """Thrown *into* a process by :meth:`Process.interrupt`.
+
+    Carries an arbitrary ``cause`` so the interrupted process can decide how
+    to react (e.g. a job being descheduled vs. killed).
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """A running generator; also an event that fires on termination.
+
+    The process' return value (``return x`` inside the generator) becomes
+    the event value, so ``result = yield child_process`` works.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        name: str = "",
+    ) -> None:
+        if not hasattr(generator, "send"):
+            raise SimulationError(f"process body must be a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Kick the process off at the current time.
+        boot = Event(env)
+        boot.callbacks.append(self._resume)
+        boot.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not terminated."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a dead process is a no-op error, matching SimPy.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt terminated process {self.name!r}")
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        hit = Event(self.env)
+        hit.callbacks.append(lambda _evt: self._throw(Interrupt(cause)))
+        hit.succeed()
+
+    def kill(self) -> None:
+        """Terminate the process by raising :class:`ProcessKilled` in it."""
+        if self.is_alive:
+            if self._target is not None:
+                try:
+                    (self._target.callbacks or []).remove(self._resume)
+                except ValueError:
+                    pass
+            self._throw(ProcessKilled(self.name))
+
+    # -- engine internals ---------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        if event.ok:
+            self._step(lambda: self._generator.send(event.value))
+        else:
+            self._step(lambda: self._generator.throw(event.value))
+
+    def _throw(self, exc: BaseException) -> None:
+        self._target = None
+        self._step(lambda: self._generator.throw(exc))
+
+    def _step(self, advance: Callable[[], Any]) -> None:
+        try:
+            target = advance()
+        except StopIteration as stop:
+            if not self._triggered:
+                self.succeed(stop.value)
+            return
+        except ProcessKilled as exc:
+            if not self._triggered:
+                self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must yield events"
+            )
+        if target.processed:
+            # Already fired: resume immediately (schedule a zero-delay hop).
+            hop = Event(self.env)
+            hop.callbacks.append(
+                lambda _e: self._resume(target)
+            )
+            hop.succeed()
+        else:
+            self._target = target
+            assert target.callbacks is not None
+            target.callbacks.append(self._resume)
+
+
+class _Condition(Event):
+    """Base for AnyOf / AllOf composite events."""
+
+    __slots__ = ("_events", "_done")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._done = 0
+        if not self._events:
+            self.succeed({})
+            return
+        for evt in self._events:
+            if evt.processed:
+                self._check(evt)
+            else:
+                assert evt.callbacks is not None
+                evt.callbacks.append(self._check)
+
+    def _collect(self) -> dict[Event, Any]:
+        return {e: e.value for e in self._events if e.processed or e.triggered}
+
+    def _check(self, event: Event) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Fires when the first of its events fires."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+        else:
+            self.succeed(self._collect())
+
+
+class AllOf(_Condition):
+    """Fires when all of its events have fired."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._done += 1
+        if self._done == len(self._events):
+            self.succeed(self._collect())
+
+
+class Environment:
+    """Owner of the simulated clock and the pending-event heap."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- event factories ----------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any], name: str = "") -> Process:
+        """Register ``generator`` as a running process."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> Event:
+        """Run ``fn`` at absolute simulated time ``when`` (>= now)."""
+        if when < self._now:
+            raise SimulationError(f"call_at({when}) is in the past (now={self._now})")
+        evt = Timeout(self, when - self._now)
+        assert evt.callbacks is not None
+        evt.callbacks.append(lambda _e: fn())
+        return evt
+
+    def defer(self, fn: Callable[[], None], phase: int = 1) -> Event:
+        """Run ``fn`` at the current instant, *after* every normally
+        scheduled event for this instant, in ascending ``phase`` order.
+
+        Events sort by ``(time, priority, sequence)``; ordinary events use
+        priorities 0 (timeouts) and 1 (triggered events), so a phase-``p``
+        deferral is scheduled at priority ``1 + p`` and runs after all of
+        them -- and after lower-phase deferrals -- regardless of creation
+        order.  This gives multi-component simulations deterministic
+        within-tick stages (e.g. producers < drainers < control loop <
+        samplers) without fragile sequence-number races.
+        """
+        if phase < 1:
+            raise SimulationError(f"defer phase must be >= 1, got {phase}")
+        evt = Event(self)
+        assert evt.callbacks is not None
+        evt.callbacks.append(lambda _e: fn())
+        evt._triggered = True
+        self._schedule(evt, NORMAL + int(phase))
+        return evt
+
+    # -- scheduling & main loop ----------------------------------------------
+    def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` when idle."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        if not self._heap:
+            raise SimulationError("step() on an empty schedule")
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        event._processed = True
+        if callbacks:
+            for cb in callbacks:
+                cb(event)
+        elif not event.ok and not isinstance(event.value, ProcessKilled):
+            # A failed event nobody waited on: surface the error instead
+            # of silently swallowing it.  (A deliberate kill() of an
+            # unjoined process is not an error.)
+            raise event.value
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the schedule drains or the clock reaches ``until``.
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        even if the last event fires earlier, so periodic samplers observe a
+        well-defined end time.
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return
+        if until < self._now:
+            raise SimulationError(f"run(until={until}) is in the past (now={self._now})")
+        while self._heap and self._heap[0][0] <= until:
+            self.step()
+        self._now = float(until)

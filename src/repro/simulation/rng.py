@@ -1,0 +1,29 @@
+"""Deterministic random-number plumbing.
+
+All stochastic components (trace generators, RPC jitter, workload noise)
+draw from generators created here so that a single experiment seed pins the
+entire run.  Child streams are derived with ``numpy``'s SeedSequence
+spawning, which guarantees independence between components without manual
+seed bookkeeping.
+"""
+
+from __future__ import annotations
+
+from numpy.random import Generator, PCG64, SeedSequence
+
+__all__ = ["make_rng", "spawn_rngs", "SeedSequence"]
+
+
+def make_rng(seed: int | SeedSequence | None = None) -> Generator:
+    """Create a PCG64 generator from ``seed`` (None = OS entropy)."""
+    if isinstance(seed, SeedSequence):
+        return Generator(PCG64(seed))
+    return Generator(PCG64(SeedSequence(seed)))
+
+
+def spawn_rngs(seed: int | SeedSequence | None, n: int) -> list[Generator]:
+    """Derive ``n`` independent generators from one parent seed."""
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} generators")
+    parent = seed if isinstance(seed, SeedSequence) else SeedSequence(seed)
+    return [Generator(PCG64(child)) for child in parent.spawn(n)]

@@ -1,0 +1,56 @@
+"""Tests for burstiness metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.analysis.burstiness import (
+    burst_fraction,
+    coefficient_of_variation,
+    peak_to_mean,
+)
+
+
+class TestCoV:
+    def test_flat_series_zero(self):
+        assert coefficient_of_variation([5.0] * 10) == 0.0
+
+    def test_known_value(self):
+        series = [0.0, 10.0]
+        assert coefficient_of_variation(series) == pytest.approx(1.0)
+
+    def test_all_zero(self):
+        assert coefficient_of_variation([0.0, 0.0]) == 0.0
+
+    def test_bursty_greater_than_smooth(self):
+        rng = np.random.default_rng(0)
+        smooth = 100 + rng.normal(0, 1, 1000)
+        bursty = np.where(rng.random(1000) < 0.05, 1000.0, 50.0)
+        assert coefficient_of_variation(bursty) > coefficient_of_variation(smooth)
+
+    @pytest.mark.parametrize("bad", [[], [[1.0, 2.0]], [np.nan]])
+    def test_invalid_input(self, bad):
+        with pytest.raises(ConfigError):
+            coefficient_of_variation(bad)
+
+
+class TestPeakToMean:
+    def test_flat_is_one(self):
+        assert peak_to_mean([3.0, 3.0]) == pytest.approx(1.0)
+
+    def test_known(self):
+        assert peak_to_mean([1.0, 1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_zero_mean(self):
+        assert peak_to_mean([0.0]) == 0.0
+
+
+class TestBurstFraction:
+    def test_counts_strictly_above(self):
+        assert burst_fraction([1.0, 2.0, 3.0, 4.0], 2.0) == pytest.approx(0.5)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ConfigError):
+            burst_fraction([1.0], -1.0)

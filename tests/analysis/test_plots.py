@@ -1,0 +1,52 @@
+"""Tests for terminal rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.analysis.plots import ascii_plot, sparkline
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3])) == 3
+
+    def test_downsampling(self):
+        line = sparkline(np.arange(1000), width=40)
+        assert len(line) == 40
+
+    def test_monotone_input_monotone_blocks(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert list(line) == sorted(line)
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            sparkline([])
+        with pytest.raises(ConfigError):
+            sparkline([1], width=0)
+
+
+class TestAsciiPlot:
+    def test_contains_series_markers_and_legend(self):
+        out = ascii_plot({"base": [1, 2, 3], "padll": [3, 2, 1]}, title="T")
+        assert "T" in out
+        assert "*=base" in out
+        assert "o=padll" in out
+
+    def test_axis_labels(self):
+        out = ascii_plot({"s": [0.0, 100.0]})
+        assert "100" in out
+        assert "0" in out
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            ascii_plot({})
+        with pytest.raises(ConfigError):
+            ascii_plot({"s": []})
+        with pytest.raises(ConfigError):
+            ascii_plot({"s": [1.0]}, width=0)

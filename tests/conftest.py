@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation.engine import Environment
+from repro.workloads.trace import OpTrace
+
+
+@pytest.fixture
+def env() -> Environment:
+    return Environment()
+
+
+@pytest.fixture
+def small_trace() -> OpTrace:
+    """A tiny deterministic 4-kind trace: 10 one-minute samples."""
+    kinds = ("open", "close", "getattr", "rename")
+    counts = np.array(
+        [
+            [600, 1200, 3000, 600],
+            [1200, 2400, 6000, 1200],
+            [600, 1200, 3000, 600],
+            [2400, 4800, 12000, 2400],
+            [600, 1200, 3000, 600],
+            [60, 120, 300, 60],
+            [600, 1200, 3000, 600],
+            [1200, 2400, 6000, 1200],
+            [600, 1200, 3000, 600],
+            [60, 120, 300, 60],
+        ],
+        dtype=float,
+    )
+    return OpTrace(kinds, counts, sample_period=60.0)

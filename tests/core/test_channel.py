@@ -1,0 +1,177 @@
+"""Tests for enforcement channels (queue + bucket + stats)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.core.channel import Channel
+from repro.core.requests import OperationType, Request
+
+
+def req(count=1.0, op=OperationType.OPEN):
+    return Request(op, path="/pfs/f", count=count)
+
+
+class TestBasics:
+    def test_needs_id(self):
+        with pytest.raises(ConfigError):
+            Channel("")
+
+    def test_unlimited_drains_everything(self):
+        ch = Channel("c")
+        ch.enqueue(req(1000.0), 0.0)
+        assert ch.drain(0.0) == 1000.0
+        assert ch.backlog == 0.0
+
+    def test_rate_limits_grants(self):
+        ch = Channel("c", rate=10.0)
+        ch.enqueue(req(100.0), 0.0)
+        assert ch.drain(0.0) == pytest.approx(10.0)  # initial burst
+        assert ch.drain(1.0) == pytest.approx(10.0)
+        assert ch.backlog == pytest.approx(80.0)
+
+    def test_fifo_order(self):
+        ch = Channel("c", rate=5.0)
+        ch.enqueue(req(3.0, OperationType.OPEN), 0.0)
+        ch.enqueue(req(3.0, OperationType.CLOSE), 0.0)
+        out = []
+        ch.drain(0.0, sink=out.append)
+        assert [r.op for r in out] == [OperationType.OPEN, OperationType.CLOSE]
+        assert out[0].count == 3.0
+        assert out[1].count == 2.0  # split at the token boundary
+
+    def test_drain_limit_bounds_grant(self):
+        ch = Channel("c", rate=100.0)
+        ch.enqueue(req(50.0), 0.0)
+        assert ch.drain(0.0, limit=7.0) == pytest.approx(7.0)
+        assert ch.backlog == pytest.approx(43.0)
+
+    def test_drain_limit_zero(self):
+        ch = Channel("c", rate=100.0)
+        ch.enqueue(req(5.0), 0.0)
+        assert ch.drain(0.0, limit=0.0) == 0.0
+
+    def test_negative_limit_rejected(self):
+        ch = Channel("c")
+        with pytest.raises(ConfigError):
+            ch.drain(0.0, limit=-1.0)
+
+    def test_unused_allowance_returned_in_integral_mode(self):
+        ch = Channel("c", rate=10.0, integral=True)
+        ch.enqueue(req(7.0), 0.0)
+        ch.enqueue(req(7.0), 0.0)
+        # Burst 10 admits the first whole batch only; 3 tokens return.
+        assert ch.drain(0.0) == pytest.approx(7.0)
+        assert ch.bucket.tokens(0.0) == pytest.approx(3.0)
+
+    def test_integral_mode_never_splits(self):
+        ch = Channel("c", rate=1.0, burst=5.0, integral=True)
+        ch.enqueue(req(5.0), 0.0)
+        assert ch.drain(0.0) == pytest.approx(5.0)  # initial burst, bucket empty
+        ch.enqueue(req(5.0), 0.0)
+        assert ch.drain(2.0) == 0.0  # 2 tokens < 5 ops: waits whole
+        assert ch.drain(5.0) == pytest.approx(5.0)
+
+    def test_set_rate_applies(self):
+        ch = Channel("c", rate=1.0)
+        ch.enqueue(req(100.0), 0.0)
+        ch.drain(0.0)
+        ch.set_rate(50.0, now=0.0)
+        assert ch.drain(1.0) == pytest.approx(50.0)
+
+
+class TestStats:
+    def test_windows_reset_on_collect(self):
+        ch = Channel("c", rate=10.0)
+        ch.enqueue(req(30.0), 0.0)
+        ch.drain(0.0)
+        granted, enqueued, backlog = ch.collect()
+        assert granted == pytest.approx(10.0)
+        assert enqueued == pytest.approx(30.0)
+        assert backlog == pytest.approx(20.0)
+        granted2, enqueued2, _ = ch.collect()
+        assert granted2 == 0.0
+        assert enqueued2 == 0.0
+
+    def test_cumulative_stats_persist(self):
+        ch = Channel("c", rate=10.0)
+        ch.enqueue(req(30.0), 0.0)
+        ch.drain(0.0)
+        ch.collect()
+        assert ch.stats.enqueued_ops == 30.0
+        assert ch.stats.granted_ops == 10.0
+        assert ch.stats.backlog == 20.0
+
+    def test_queue_depth(self):
+        ch = Channel("c", rate=1.0)
+        for _ in range(5):
+            ch.enqueue(req(1.0), 0.0)
+        assert ch.queue_depth == 5
+
+
+# -- conservation invariant -------------------------------------------------------
+
+batches = st.lists(st.floats(min_value=0.1, max_value=1000.0), min_size=1, max_size=30)
+
+
+@settings(max_examples=150, deadline=None)
+@given(rate=st.floats(min_value=0.1, max_value=1e4), counts=batches)
+def test_ops_conserved(rate, counts):
+    """enqueued == granted + backlog at all times; grants respect the rate."""
+    ch = Channel("c", rate=rate)
+    sunk = []
+    now = 0.0
+    total_in = 0.0
+    total_out = 0.0
+    for count in counts:
+        ch.enqueue(req(count), now)
+        total_in += count
+        now += 0.5
+        total_out += ch.drain(now, sink=sunk.append)
+        assert total_in == pytest.approx(total_out + ch.backlog)
+    assert sum(r.count for r in sunk) == pytest.approx(total_out)
+    # Long-run rate bound: initial burst (capacity=rate) + rate * elapsed.
+    assert total_out <= rate + rate * now + 1e-6 * max(1.0, total_out)
+
+
+@settings(max_examples=100, deadline=None)
+@given(counts=batches)
+def test_integral_mode_grants_whole_batches(counts):
+    ch = Channel("c", rate=50.0, integral=True)
+    sizes = []
+    now = 0.0
+    for count in counts:
+        ch.enqueue(req(count), now)
+        now += 1.0
+        ch.drain(now, sink=lambda r: sizes.append(r.count))
+    assert all(any(abs(s - c) < 1e-9 for c in counts) for s in sizes)
+
+
+class TestWaitAccounting:
+    def test_mean_and_max_wait(self):
+        ch = Channel("c", rate=10.0, burst=10.0)
+        ch.enqueue(req(10.0), 0.0)  # drains instantly (burst)
+        ch.enqueue(req(10.0), 0.0)  # waits one second
+        ch.drain(0.0)
+        assert ch.stats.wait_max == 0.0
+        ch.drain(1.0)
+        # First batch waited 0 s, second waited 1 s.
+        assert ch.stats.wait_max == pytest.approx(1.0)
+        assert ch.stats.mean_wait == pytest.approx(0.5)
+
+    def test_split_batches_keep_arrival_time(self):
+        ch = Channel("c", rate=4.0, burst=4.0)
+        ch.enqueue(req(8.0), 0.0)
+        ch.drain(0.0)  # 4 granted at wait 0
+        ch.drain(2.0)  # remaining 4 granted at wait 2
+        assert ch.stats.wait_max == pytest.approx(2.0)
+        assert ch.stats.mean_wait == pytest.approx(1.0)
+
+    def test_empty_channel_zero_wait(self):
+        ch = Channel("c", rate=1.0)
+        assert ch.stats.mean_wait == 0.0

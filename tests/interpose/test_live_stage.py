@@ -1,0 +1,106 @@
+"""Tests for the wall-clock LiveStage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.core.differentiation import ClassifierRule
+from repro.core.requests import OperationClass, OperationType, Request
+from repro.core.rpc import CollectStats, EnforceRate, StageEndpoint
+from repro.core.stage import StageIdentity
+from repro.interpose.live_stage import LiveStage
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+
+def make_stage(rate=100.0, mounts=None):
+    clock = FakeClock()
+    stage = LiveStage(StageIdentity("ls0", "jobL"), pfs_mounts=mounts, clock=clock)
+    stage.create_channel("metadata", rate=rate)
+    stage.add_classifier_rule(
+        ClassifierRule(
+            "md",
+            "metadata",
+            op_classes=frozenset({OperationClass.METADATA}),
+        )
+    )
+    return stage, clock
+
+
+class TestLiveStage:
+    def test_throttle_enforced_request(self):
+        stage, _ = make_stage()
+        decision = stage.throttle(Request(OperationType.OPEN, path="/f"))
+        assert decision.enforced
+        assert stage.granted_total("metadata") == 1.0
+
+    def test_passthrough_request(self):
+        stage, _ = make_stage()
+        decision = stage.throttle(Request(OperationType.READ, path="/f"))
+        assert not decision.enforced
+        assert stage.passthrough_total == 1.0
+
+    def test_mount_filtering(self):
+        stage, _ = make_stage(mounts=("/pfs",))
+        assert not stage.throttle(Request(OperationType.OPEN, path="/tmp/f")).enforced
+        assert stage.throttle(Request(OperationType.OPEN, path="/pfs/f")).enforced
+
+    def test_job_id_stamped(self):
+        stage, _ = make_stage()
+        req = Request(OperationType.OPEN, path="/f")
+        stage.throttle(req)
+        assert req.job_id == "jobL"
+
+    def test_duplicate_channel_rejected(self):
+        stage, _ = make_stage()
+        with pytest.raises(ConfigError):
+            stage.create_channel("metadata")
+
+    def test_rule_requires_channel(self):
+        stage, _ = make_stage()
+        with pytest.raises(ConfigError):
+            stage.add_classifier_rule(
+                ClassifierRule(
+                    "bad", "ghost", op_types=frozenset({OperationType.OPEN})
+                )
+            )
+
+    def test_set_rate(self):
+        stage, _ = make_stage(rate=5.0)
+        stage.set_channel_rate("metadata", 50.0)
+        assert stage.channel_rate("metadata") == 50.0
+
+    def test_collect_shape_compatible(self):
+        stage, clock = make_stage()
+        for _ in range(4):
+            stage.throttle(Request(OperationType.OPEN, path="/f"))
+        stage.throttle(Request(OperationType.READ, path="/f"))
+        clock.t = 2.0
+        stats = stage.collect()
+        assert stats.stage_id == "ls0"
+        assert stats.window == pytest.approx(2.0)
+        snap = stats.channels[0]
+        assert snap.granted_ops == 4.0
+        assert snap.enqueued_ops == 4.0  # live stage has no queue
+        assert snap.backlog == 0.0
+        assert stats.passthrough_ops == 1.0
+        # Window resets.
+        clock.t = 3.0
+        assert stage.collect().channels[0].granted_ops == 0.0
+
+    def test_drivable_by_stage_endpoint(self):
+        """The same RPC endpoint drives simulated and live stages."""
+        stage, clock = make_stage()
+        endpoint = StageEndpoint(stage)
+        endpoint.handle(EnforceRate(channel_id="metadata", rate=7.0, now=0.0))
+        assert stage.channel_rate("metadata") == 7.0
+        clock.t = 1.0
+        stats = endpoint.handle(CollectStats(now=1.0))
+        assert stats.job_id == "jobL"

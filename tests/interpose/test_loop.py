@@ -1,0 +1,81 @@
+"""Tests for the threaded live control loop."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.core.controller import ControlPlane
+from repro.core.differentiation import ClassifierRule
+from repro.core.policies import ConstantRate, PolicyRule, RuleScope
+from repro.core.requests import OperationClass
+from repro.core.stage import StageIdentity
+from repro.interpose.live_stage import LiveStage
+from repro.interpose.loop import LiveControlLoop
+
+
+def make_live_stage():
+    stage = LiveStage(StageIdentity("ls0", "jobL"))
+    stage.create_channel("metadata")
+    stage.add_classifier_rule(
+        ClassifierRule(
+            "md", "metadata", op_classes=frozenset({OperationClass.METADATA})
+        )
+    )
+    return stage
+
+
+class TestLiveControlLoop:
+    def test_policy_enforced_on_live_stage(self):
+        cp = ControlPlane()
+        stage = make_live_stage()
+        cp.register(stage)
+        cp.install_policy(
+            PolicyRule(
+                name="cap",
+                scope=RuleScope(channel_id="metadata"),
+                schedule=ConstantRate(123.0),
+            )
+        )
+        with LiveControlLoop(cp, interval=0.02):
+            deadline = time.monotonic() + 2.0
+            while stage.channel_rate("metadata") != 123.0:
+                if time.monotonic() > deadline:
+                    pytest.fail("control loop never enforced the policy")
+                time.sleep(0.01)
+        assert cp.loop_iterations >= 1
+
+    def test_double_start_rejected(self):
+        loop = LiveControlLoop(ControlPlane(), interval=0.05)
+        loop.start()
+        try:
+            with pytest.raises(ConfigError):
+                loop.start()
+        finally:
+            loop.stop()
+
+    def test_stop_is_idempotent_when_never_started(self):
+        loop = LiveControlLoop(ControlPlane(), interval=0.05)
+        loop.stop()  # no-op
+
+    def test_error_surfaces_on_stop(self):
+        cp = ControlPlane()
+
+        class Boom:
+            def allocate(self, demands):
+                raise RuntimeError("algorithm exploded")
+
+        cp.algorithm = Boom()
+        stage = make_live_stage()
+        cp.register(stage)
+        loop = LiveControlLoop(cp, interval=0.01)
+        loop.start()
+        time.sleep(0.1)
+        with pytest.raises(RuntimeError, match="exploded"):
+            loop.stop()
+
+    def test_invalid_interval(self):
+        with pytest.raises(ConfigError):
+            LiveControlLoop(ControlPlane(), interval=0.0)

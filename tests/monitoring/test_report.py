@@ -1,0 +1,88 @@
+"""Tests for the textual status reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.controller import ControlPlane
+from repro.core.differentiation import ClassifierRule
+from repro.core.policies import ConstantRate, PolicyRule, RuleScope
+from repro.core.requests import OperationClass, OperationType, Request
+from repro.core.stage import DataPlaneStage, StageIdentity
+from repro.monitoring.report import cluster_report, control_plane_report
+from repro.pfs.cluster import ClusterConfig, LustreCluster
+from repro.pfs.mds import MDSConfig
+
+
+def make_cluster():
+    return LustreCluster(
+        ClusterConfig(
+            n_mds=2, n_mdt=2, n_oss=2, n_ost=4,
+            total_capacity_bytes=10**9,
+            mds=MDSConfig(capacity=1000.0),
+        )
+    )
+
+
+class TestClusterReport:
+    def test_healthy_cluster(self):
+        cluster = make_cluster()
+        client = cluster.new_client()
+        client.submit(Request(OperationType.STAT, path="/f", count=100.0))
+        cluster.service(0.0, 1.0)
+        report = cluster_report(cluster, now=1.0)
+        assert "mds0" in report
+        assert "healthy" in report
+        assert "getattr" in report
+        assert "OSS" in report
+
+    def test_failed_mds_shown(self):
+        cluster = make_cluster()
+        cluster.mds_servers[0].fail(0.0)
+        report = cluster_report(cluster, now=5.0)
+        assert "FAILED" in report
+
+    def test_pending_replay_shown(self):
+        cluster = make_cluster()
+        client = cluster.new_client()
+        for mds in cluster.mds_servers:
+            mds.fail(0.0)
+        client.submit(Request(OperationType.STAT, path="/f", count=42.0))
+        report = cluster_report(cluster, now=1.0)
+        assert "pending replay" in report
+
+
+class TestControlPlaneReport:
+    def _stage(self, stage_id="s0", job_id="jobA"):
+        stage = DataPlaneStage(StageIdentity(stage_id, job_id), lambda r: None)
+        stage.create_channel("metadata", rate=100.0)
+        stage.add_classifier_rule(
+            ClassifierRule(
+                "md", "metadata",
+                op_classes=frozenset({OperationClass.METADATA}),
+            )
+        )
+        return stage
+
+    def test_report_lists_jobs_policies_and_channels(self):
+        cp = ControlPlane()
+        stage = self._stage()
+        cp.register(stage)
+        cp.set_reservation("jobA", 50e3)
+        cp.install_policy(
+            PolicyRule(name="cap", scope=RuleScope("metadata"),
+                       schedule=ConstantRate(10.0))
+        )
+        stage.submit(Request(OperationType.OPEN, path="/f", count=5.0), 0.0)
+        cp.tick(1.0)
+        report = control_plane_report(cp)
+        assert "jobA" in report
+        assert "reservation 50.0K" in report
+        assert "policy cap" in report
+        assert "s0/metadata" in report
+
+    def test_report_before_any_tick(self):
+        cp = ControlPlane()
+        cp.register(self._stage())
+        report = control_plane_report(cp)
+        assert "no statistics yet" in report

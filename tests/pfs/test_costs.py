@@ -1,0 +1,40 @@
+"""Tests for the per-operation MDS cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.pfs.costs import OP_COSTS, batch_cost, op_cost
+
+
+class TestCosts:
+    def test_paper_cost_ordering(self):
+        """Section II: getattr < setattr/close < open < unlink < mkdir < rename."""
+        assert op_cost("getattr") < op_cost("setattr")
+        assert op_cost("setattr") <= op_cost("close") < op_cost("open")
+        assert op_cost("open") < op_cost("unlink")
+        assert op_cost("unlink") < op_cost("mkdir")
+        assert op_cost("mkdir") < op_cost("rename")
+
+    def test_rename_is_most_expensive_metadata_op(self):
+        metadata_kinds = [k for k, c in OP_COSTS.items() if c > 0]
+        assert max(metadata_kinds, key=op_cost) == "rename"
+
+    def test_data_kinds_free_at_mds(self):
+        assert op_cost("read") == 0.0
+        assert op_cost("write") == 0.0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            op_cost("frobnicate")
+
+    def test_batch_cost(self):
+        assert batch_cost("getattr", 100) == 100 * op_cost("getattr")
+        assert batch_cost("rename", 0) == 0.0
+        with pytest.raises(ConfigError):
+            batch_cost("getattr", -1)
+
+    def test_table_immutable(self):
+        with pytest.raises(TypeError):
+            OP_COSTS["getattr"] = 99.0  # type: ignore[index]

@@ -1,0 +1,77 @@
+"""Tests for the reader-writer lock table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.pfs.locks import LockMode, LockTable
+
+
+class TestLockTable:
+    def test_concurrent_readers(self):
+        table = LockTable()
+        g1 = table.acquire(["/a"], LockMode.READ)
+        g2 = table.acquire(["/a"], LockMode.READ)
+        assert table.held == 1
+        table.release(g1)
+        table.release(g2)
+        assert table.held == 0
+
+    def test_writer_excludes_readers(self):
+        table = LockTable()
+        g = table.acquire(["/a"], LockMode.WRITE)
+        with pytest.raises(ConfigError, match="conflict"):
+            table.acquire(["/a"], LockMode.READ)
+        with pytest.raises(ConfigError, match="conflict"):
+            table.acquire(["/a"], LockMode.WRITE)
+        table.release(g)
+        table.acquire(["/a"], LockMode.READ)
+
+    def test_reader_excludes_writer(self):
+        table = LockTable()
+        table.acquire(["/a"], LockMode.READ)
+        with pytest.raises(ConfigError):
+            table.acquire(["/a"], LockMode.WRITE)
+
+    def test_multi_path_atomicity(self):
+        """Rename-style two-parent locking: all-or-nothing."""
+        table = LockTable()
+        table.acquire(["/src"], LockMode.WRITE)
+        with pytest.raises(ConfigError):
+            table.acquire(["/dst", "/src"], LockMode.WRITE)
+        # The failed acquire must not have locked /dst.
+        table.acquire(["/dst"], LockMode.WRITE)
+
+    def test_duplicate_paths_deduplicated(self):
+        table = LockTable()
+        g = table.acquire(["/a", "/a"], LockMode.WRITE)
+        assert g.paths == ("/a",)
+        table.release(g)
+        assert table.held == 0
+
+    def test_conflict_accounting(self):
+        table = LockTable()
+        table.acquire(["/a"], LockMode.WRITE)
+        for _ in range(3):
+            with pytest.raises(ConfigError):
+                table.acquire(["/a"], LockMode.WRITE)
+        assert table.conflicts == 3
+        assert table.acquisitions == 1
+
+    def test_release_unheld_rejected(self):
+        table = LockTable()
+        g = table.acquire(["/a"], LockMode.READ)
+        table.release(g)
+        with pytest.raises(ConfigError):
+            table.release(g)
+
+    def test_empty_acquire_rejected(self):
+        with pytest.raises(ConfigError):
+            LockTable().acquire([], LockMode.READ)
+
+    def test_disjoint_paths_independent(self):
+        table = LockTable()
+        table.acquire(["/a"], LockMode.WRITE)
+        table.acquire(["/b"], LockMode.WRITE)
+        assert table.held == 2

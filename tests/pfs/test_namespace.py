@@ -1,0 +1,443 @@
+"""Tests for the in-memory POSIX namespace."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import (
+    DirectoryNotEmpty,
+    EntryExists,
+    InvalidHandle,
+    IsADirectoryEntry,
+    NamespaceError,
+    NoSuchEntry,
+    NotADirectoryEntry,
+)
+from repro.pfs.namespace import FileKind, Namespace
+
+
+@pytest.fixture
+def ns() -> Namespace:
+    return Namespace()
+
+
+class TestCreateOpenClose:
+    def test_create_open_close_roundtrip(self, ns):
+        fd = ns.create("/a")
+        assert ns.exists("/a")
+        ns.close(fd)
+        fd2 = ns.open("/a")
+        ns.close(fd2)
+        assert ns.op_counts == {"open": 2, "close": 2}
+
+    def test_create_existing_rejected(self, ns):
+        ns.close(ns.create("/a"))
+        with pytest.raises(EntryExists):
+            ns.create("/a")
+
+    def test_open_missing_rejected(self, ns):
+        with pytest.raises(NoSuchEntry):
+            ns.open("/missing")
+
+    def test_open_with_create_flag(self, ns):
+        fd = ns.open("/new", create=True)
+        ns.close(fd)
+        assert ns.exists("/new")
+
+    def test_open_directory_rejected(self, ns):
+        ns.mkdir("/d")
+        with pytest.raises(IsADirectoryEntry):
+            ns.open("/d")
+
+    def test_double_close_rejected(self, ns):
+        fd = ns.create("/a")
+        ns.close(fd)
+        with pytest.raises(InvalidHandle):
+            ns.close(fd)
+
+    def test_relative_path_rejected(self, ns):
+        with pytest.raises(NamespaceError):
+            ns.create("relative/path")
+
+    def test_nested_create_requires_parents(self, ns):
+        with pytest.raises(NoSuchEntry):
+            ns.create("/d/a")
+        ns.mkdir("/d")
+        ns.close(ns.create("/d/a"))
+        assert ns.exists("/d/a")
+
+    def test_intermediate_file_rejected(self, ns):
+        ns.close(ns.create("/f"))
+        with pytest.raises((NotADirectoryEntry, NoSuchEntry)):
+            ns.create("/f/child")
+
+    def test_open_handle_count(self, ns):
+        fds = [ns.create(f"/f{i}") for i in range(3)]
+        assert ns.open_handle_count == 3
+        for fd in fds:
+            ns.close(fd)
+        assert ns.open_handle_count == 0
+
+
+class TestStat:
+    def test_getattr_fields(self, ns):
+        ns.close(ns.create("/a", mode=0o600))
+        st_ = ns.getattr("/a")
+        assert st_.kind is FileKind.FILE
+        assert st_.mode == 0o600
+        assert st_.size == 0
+        assert st_.nlink == 1
+        assert st_.stripe  # assigned at create
+
+    def test_getattr_root(self, ns):
+        st_ = ns.getattr("/")
+        assert st_.kind is FileKind.DIRECTORY
+        assert st_.nlink == 2
+
+    def test_fgetattr(self, ns):
+        fd = ns.create("/a")
+        st_ = ns.fgetattr(fd)
+        assert st_.kind is FileKind.FILE
+        with pytest.raises(InvalidHandle):
+            ns.fgetattr(999)
+
+    def test_setattr(self, ns):
+        ns.close(ns.create("/a"))
+        ns.setattr("/a", mode=0o755, uid=10, gid=20, size=100)
+        st_ = ns.getattr("/a")
+        assert (st_.mode, st_.uid, st_.gid, st_.size) == (0o755, 10, 20, 100)
+
+    def test_truncate_directory_rejected(self, ns):
+        ns.mkdir("/d")
+        with pytest.raises(IsADirectoryEntry):
+            ns.setattr("/d", size=1)
+
+    def test_truncate_negative_rejected(self, ns):
+        ns.close(ns.create("/a"))
+        with pytest.raises(NamespaceError):
+            ns.setattr("/a", size=-1)
+
+
+class TestRename:
+    def test_simple_rename(self, ns):
+        ns.close(ns.create("/a"))
+        ino = ns.getattr("/a").ino
+        ns.rename("/a", "/b")
+        assert not ns.exists("/a")
+        assert ns.getattr("/b").ino == ino
+
+    def test_cross_directory_rename(self, ns):
+        ns.mkdir("/src")
+        ns.mkdir("/dst")
+        ns.close(ns.create("/src/f"))
+        ns.rename("/src/f", "/dst/g")
+        assert ns.readdir("/src") == []
+        assert ns.readdir("/dst") == ["g"]
+
+    def test_rename_replaces_file(self, ns):
+        ns.close(ns.create("/a"))
+        ns.close(ns.create("/b"))
+        before = ns.inode_count
+        ns.rename("/a", "/b")
+        assert ns.inode_count == before - 1  # target freed
+
+    def test_rename_onto_nonempty_dir_rejected(self, ns):
+        ns.mkdir("/d1")
+        ns.mkdir("/d2")
+        ns.close(ns.create("/d2/x"))
+        with pytest.raises(DirectoryNotEmpty):
+            ns.rename("/d1", "/d2")
+
+    def test_rename_dir_onto_file_rejected(self, ns):
+        ns.mkdir("/d")
+        ns.close(ns.create("/f"))
+        with pytest.raises(NotADirectoryEntry):
+            ns.rename("/d", "/f")
+
+    def test_rename_file_onto_empty_dir_rejected(self, ns):
+        ns.close(ns.create("/f"))
+        ns.mkdir("/d")
+        with pytest.raises(IsADirectoryEntry):
+            ns.rename("/f", "/d")
+
+    def test_rename_to_self_is_noop(self, ns):
+        ns.close(ns.create("/a"))
+        before = ns.inode_count
+        ns.rename("/a", "/a")
+        assert ns.exists("/a")
+        assert ns.inode_count == before
+
+    def test_dir_rename_updates_nlink(self, ns):
+        ns.mkdir("/p1")
+        ns.mkdir("/p2")
+        ns.mkdir("/p1/child")
+        p1_nlink = ns.getattr("/p1").nlink
+        p2_nlink = ns.getattr("/p2").nlink
+        ns.rename("/p1/child", "/p2/child")
+        assert ns.getattr("/p1").nlink == p1_nlink - 1
+        assert ns.getattr("/p2").nlink == p2_nlink + 1
+
+    def test_rename_missing_source(self, ns):
+        with pytest.raises(NoSuchEntry):
+            ns.rename("/ghost", "/b")
+
+
+class TestLinkUnlink:
+    def test_hard_link_shares_inode(self, ns):
+        ns.close(ns.create("/a"))
+        ns.link("/a", "/b")
+        assert ns.getattr("/a").ino == ns.getattr("/b").ino
+        assert ns.getattr("/a").nlink == 2
+
+    def test_unlink_frees_on_last_link(self, ns):
+        ns.close(ns.create("/a"))
+        ns.link("/a", "/b")
+        before = ns.inode_count
+        ns.unlink("/a")
+        assert ns.inode_count == before  # still one link
+        ns.unlink("/b")
+        assert ns.inode_count == before - 1
+
+    def test_link_directory_rejected(self, ns):
+        ns.mkdir("/d")
+        with pytest.raises(IsADirectoryEntry):
+            ns.link("/d", "/d2")
+
+    def test_unlink_directory_rejected(self, ns):
+        ns.mkdir("/d")
+        with pytest.raises(IsADirectoryEntry):
+            ns.unlink("/d")
+
+    def test_unlink_missing(self, ns):
+        with pytest.raises(NoSuchEntry):
+            ns.unlink("/ghost")
+
+    def test_symlink_and_readlink(self, ns):
+        ns.close(ns.create("/target"))
+        ns.symlink("/target", "/link")
+        assert ns.readlink("/link") == "/target"
+        # Following the link resolves to the target inode.
+        assert ns.getattr("/link").ino == ns.getattr("/target").ino
+        # lstat-style does not follow.
+        assert ns.getattr("/link", follow=False).kind is FileKind.SYMLINK
+
+    def test_relative_symlink(self, ns):
+        ns.mkdir("/d")
+        ns.close(ns.create("/d/target"))
+        ns.symlink("target", "/d/link")
+        assert ns.getattr("/d/link").ino == ns.getattr("/d/target").ino
+
+    def test_symlink_loop_detected(self, ns):
+        ns.symlink("/b", "/a")
+        ns.symlink("/a", "/b")
+        with pytest.raises(NamespaceError, match="symbolic"):
+            ns.getattr("/a")
+
+    def test_readlink_non_symlink(self, ns):
+        ns.close(ns.create("/f"))
+        with pytest.raises(NamespaceError):
+            ns.readlink("/f")
+
+
+class TestDirectories:
+    def test_mkdir_rmdir(self, ns):
+        ns.mkdir("/d")
+        assert ns.getattr("/d").kind is FileKind.DIRECTORY
+        ns.rmdir("/d")
+        assert not ns.exists("/d")
+
+    def test_mkdir_existing_rejected(self, ns):
+        ns.mkdir("/d")
+        with pytest.raises(EntryExists):
+            ns.mkdir("/d")
+
+    def test_rmdir_nonempty_rejected(self, ns):
+        ns.mkdir("/d")
+        ns.close(ns.create("/d/f"))
+        with pytest.raises(DirectoryNotEmpty):
+            ns.rmdir("/d")
+
+    def test_rmdir_file_rejected(self, ns):
+        ns.close(ns.create("/f"))
+        with pytest.raises(NotADirectoryEntry):
+            ns.rmdir("/f")
+
+    def test_readdir_sorted(self, ns):
+        for name in ("zz", "aa", "mm"):
+            ns.close(ns.create(f"/{name}"))
+        assert ns.readdir("/") == ["aa", "mm", "zz"]
+
+    def test_readdir_file_rejected(self, ns):
+        ns.close(ns.create("/f"))
+        with pytest.raises(NotADirectoryEntry):
+            ns.readdir("/f")
+
+    def test_mkdir_updates_parent_nlink(self, ns):
+        root_before = ns.getattr("/").nlink
+        ns.mkdir("/d")
+        assert ns.getattr("/").nlink == root_before + 1
+        ns.rmdir("/d")
+        assert ns.getattr("/").nlink == root_before
+
+    def test_mknod(self, ns):
+        ns.mknod("/f")
+        assert ns.getattr("/f").kind is FileKind.FILE
+        assert ns.op_counts["mknod"] == 1
+
+
+class TestXattrs:
+    def test_set_get_list_remove(self, ns):
+        ns.close(ns.create("/a"))
+        ns.setxattr("/a", "user.tag", b"value")
+        assert ns.getxattr("/a", "user.tag") == b"value"
+        assert ns.listxattr("/a") == ["user.tag"]
+        ns.removexattr("/a", "user.tag")
+        assert ns.listxattr("/a") == []
+
+    def test_get_missing_xattr(self, ns):
+        ns.close(ns.create("/a"))
+        with pytest.raises(NoSuchEntry):
+            ns.getxattr("/a", "user.ghost")
+        with pytest.raises(NoSuchEntry):
+            ns.removexattr("/a", "user.ghost")
+
+    def test_empty_name_rejected(self, ns):
+        ns.close(ns.create("/a"))
+        with pytest.raises(NamespaceError):
+            ns.setxattr("/a", "", b"v")
+
+
+class TestDataHooks:
+    def test_write_extends_size(self, ns):
+        fd = ns.create("/a")
+        ns.apply_write(fd, 100)
+        ns.apply_write(fd, 50)
+        assert ns.getattr("/a").size == 150
+
+    def test_read_bounded_by_size(self, ns):
+        fd = ns.create("/a")
+        ns.apply_write(fd, 100)
+        fd2 = ns.open("/a")
+        assert ns.apply_read(fd2, 60) == 60
+        assert ns.apply_read(fd2, 60) == 40
+        assert ns.apply_read(fd2, 60) == 0
+
+    def test_negative_io_rejected(self, ns):
+        fd = ns.create("/a")
+        with pytest.raises(NamespaceError):
+            ns.apply_write(fd, -1)
+        with pytest.raises(NamespaceError):
+            ns.apply_read(fd, -1)
+
+    def test_used_bytes(self, ns):
+        fd = ns.create("/a")
+        ns.apply_write(fd, 1000)
+        assert ns.used_bytes() == 1000
+
+
+class TestStatfsSyncWalk:
+    def test_statfs(self, ns):
+        fd = ns.create("/a")
+        ns.apply_write(fd, 500)
+        info = ns.statfs()
+        assert info["total_bytes"] - info["free_bytes"] == 500
+        assert info["inodes"] == ns.inode_count
+
+    def test_sync_counts(self, ns):
+        ns.sync()
+        assert ns.op_counts["sync"] == 1
+
+    def test_walk_visits_everything(self, ns):
+        ns.mkdir("/d")
+        ns.close(ns.create("/d/f1"))
+        ns.close(ns.create("/f2"))
+        paths = [p for p, _ in ns.walk()]
+        assert set(paths) == {"/", "/d", "/d/f1", "/f2"}
+
+
+# -- property test: inode accounting under random operation sequences ------------
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["create", "mkdir", "unlink", "rmdir", "rename"]),
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=0, max_value=5),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(sequence=ops)
+def test_inode_accounting_never_corrupts(sequence):
+    """Random op storms keep the tree consistent: every dentry resolves,
+    walk() terminates, and inode count matches what walk sees."""
+    ns = Namespace()
+    for op, i, j in sequence:
+        src, dst = f"/n{i}", f"/n{j}"
+        try:
+            if op == "create":
+                ns.close(ns.create(src))
+            elif op == "mkdir":
+                ns.mkdir(src)
+            elif op == "unlink":
+                ns.unlink(src)
+            elif op == "rmdir":
+                ns.rmdir(src)
+            elif op == "rename":
+                ns.rename(src, dst)
+        except NamespaceError:
+            pass  # rejected ops must leave the tree untouched
+    seen = list(ns.walk())
+    assert len(seen) == ns.inode_count
+    for path, _ in seen:
+        assert ns.exists(path)
+
+
+nested_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["mkdir", "create", "rename", "rmdir", "unlink"]),
+        st.lists(st.integers(min_value=0, max_value=2), min_size=1, max_size=4),
+        st.lists(st.integers(min_value=0, max_value=2), min_size=1, max_size=4),
+    ),
+    min_size=1,
+    max_size=50,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(sequence=nested_ops)
+def test_deep_tree_invariants(sequence):
+    """Random op storms over a *nested* tree keep it consistent: every
+    directory's nlink equals 2 + its subdirectory count, and walk() agrees
+    with the inode table."""
+    ns = Namespace()
+    for op, src_parts, dst_parts in sequence:
+        src = "/" + "/".join(f"n{i}" for i in src_parts)
+        dst = "/" + "/".join(f"n{i}" for i in dst_parts)
+        try:
+            if op == "mkdir":
+                ns.mkdir(src)
+            elif op == "create":
+                ns.close(ns.create(src))
+            elif op == "rename":
+                ns.rename(src, dst)
+            elif op == "rmdir":
+                ns.rmdir(src)
+            elif op == "unlink":
+                ns.unlink(src)
+        except NamespaceError:
+            pass
+    seen = list(ns.walk())
+    assert len(seen) == ns.inode_count
+    for path, inode in seen:
+        assert ns.exists(path)
+        if inode.is_dir:
+            subdirs = sum(
+                1 for child_ino in inode.entries.values()
+                if ns._inodes[child_ino].is_dir
+            )
+            assert inode.nlink == 2 + subdirs, path

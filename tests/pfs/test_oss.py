@@ -1,0 +1,157 @@
+"""Tests for the object storage pool (OSS/OST data path)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.pfs.oss import ObjectStoragePool, OSTarget
+
+
+def pool(**kw) -> ObjectStoragePool:
+    defaults = dict(n_oss=2, n_ost=4, ost_capacity_bytes=1000, oss_bandwidth=100.0)
+    defaults.update(kw)
+    return ObjectStoragePool(**defaults)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"n_oss": 0},
+            {"n_ost": 0},
+            {"n_ost": 1, "n_oss": 2},
+            {"oss_bandwidth": 0.0},
+        ],
+    )
+    def test_invalid(self, kw):
+        with pytest.raises(ConfigError):
+            pool(**kw)
+
+    def test_ost_capacity_positive(self):
+        with pytest.raises(ConfigError):
+            OSTarget(index=0, capacity_bytes=0)
+
+
+class TestStripeAllocation:
+    def test_least_filled_first(self):
+        p = pool()
+        p.targets[0].used_bytes = 900
+        p.targets[1].used_bytes = 100
+        p.targets[2].used_bytes = 500
+        assert p.allocate_stripe(2) == (3, 1)  # 3 is empty, then 1
+
+    def test_capacity_balancing_over_many_files(self):
+        """Repeated allocate+record keeps fill fractions close together."""
+        p = pool(n_ost=6, ost_capacity_bytes=10_000)
+        for _ in range(60):
+            stripe = p.allocate_stripe(2)
+            p.record_allocation(stripe, 200)
+        fills = [t.fill_fraction for t in p.targets]
+        assert max(fills) - min(fills) <= 0.05
+
+    def test_bounds(self):
+        p = pool()
+        with pytest.raises(ConfigError):
+            p.allocate_stripe(0)
+        with pytest.raises(ConfigError):
+            p.allocate_stripe(99)
+
+    def test_record_allocation_negative_rejected(self):
+        p = pool()
+        with pytest.raises(ConfigError):
+            p.record_allocation((0,), -5)
+
+
+class TestFluidService:
+    def test_bandwidth_bound(self):
+        p = pool()  # 2 OSS * 100 B/s
+        p.offer("write", 1000.0, 0.0)
+        assert p.service(0.0, 1.0) == pytest.approx(200.0)
+        assert p.queued_bytes == pytest.approx(800.0)
+
+    def test_fifo_mixed_kinds(self):
+        p = pool()
+        p.offer("read", 150.0, 0.0)
+        p.offer("write", 150.0, 0.0)
+        p.service(0.0, 1.0)
+        assert p.served_bytes["read"] == pytest.approx(150.0)
+        assert p.served_bytes["write"] == pytest.approx(50.0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            pool().offer("scan", 1.0, 0.0)
+
+    def test_windows(self):
+        p = pool()
+        p.offer("read", 100.0, 0.0)
+        p.service(0.0, 1.0)
+        window = p.take_window()
+        assert window["read"] == pytest.approx(100.0)
+        assert p.take_window() == {"read": 0.0, "write": 0.0}
+
+    def test_conservation(self):
+        p = pool()
+        total = 0.0
+        for t in range(10):
+            p.offer("write", 37.0, float(t))
+            total += 37.0
+            p.service(float(t), 1.0)
+        assert p.served_bytes["write"] + p.queued_bytes == pytest.approx(total)
+
+    def test_invalid_dt(self):
+        with pytest.raises(ConfigError):
+            pool().service(0.0, 0.0)
+
+
+class TestStripedService:
+    def test_even_spread_over_stripe(self):
+        p = pool()  # 4 OSTs, total bandwidth 200 B/s -> 50 B/s per OST
+        p.offer_striped("write", 100.0, (0, 1), 0.0)
+        assert p.ost_queue_bytes(0) == 50.0
+        assert p.ost_queue_bytes(1) == 50.0
+        assert p.ost_queue_bytes(2) == 0.0
+
+    def test_hot_ost_bottlenecks_despite_idle_pool(self):
+        """Everything striped onto OST 0: the pool has 4x the bandwidth
+        needed, but the hot OST serves at only its own share."""
+        p = pool()
+        p.offer_striped("write", 500.0, (0,), 0.0)
+        served = p.service_striped(0.0, 1.0)
+        assert served == pytest.approx(50.0)  # one OST's bandwidth
+        assert p.ost_queue_bytes(0) == pytest.approx(450.0)
+
+    def test_wide_stripe_uses_full_pool(self):
+        p = pool()
+        p.offer_striped("write", 200.0, (0, 1, 2, 3), 0.0)
+        served = p.service_striped(0.0, 1.0)
+        assert served == pytest.approx(200.0)
+
+    def test_per_ost_accounting(self):
+        p = pool()
+        p.offer_striped("read", 80.0, (2, 3), 0.0)
+        p.service_striped(0.0, 1.0)
+        assert p.ost_served_bytes[2] == pytest.approx(40.0)
+        assert p.ost_served_bytes[3] == pytest.approx(40.0)
+        assert p.served_bytes["read"] == pytest.approx(80.0)
+
+    def test_validation(self):
+        p = pool()
+        with pytest.raises(ConfigError):
+            p.offer_striped("scan", 1.0, (0,), 0.0)
+        with pytest.raises(ConfigError):
+            p.offer_striped("read", 1.0, (), 0.0)
+        with pytest.raises(ConfigError):
+            p.offer_striped("read", 1.0, (99,), 0.0)
+        with pytest.raises(ConfigError):
+            p.service_striped(0.0, 0.0)
+
+    def test_conservation(self):
+        p = pool()
+        total = 0.0
+        for t in range(5):
+            p.offer_striped("write", 120.0, (0, 1, 2), float(t))
+            total += 120.0
+            p.service_striped(float(t), 1.0)
+        queued = sum(p.ost_queue_bytes(i) for i in range(4))
+        assert sum(p.ost_served_bytes) + queued == pytest.approx(total)

@@ -1,0 +1,124 @@
+"""Tests for deferral phases and engine ordering properties."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.simulation.engine import Environment
+from repro.simulation.ticker import Ticker
+
+
+class TestDefer:
+    def test_runs_after_pending_events(self, env):
+        log = []
+        t = env.timeout(0.0)
+        t.callbacks.append(lambda e: log.append("timeout"))
+        env.defer(lambda: log.append("deferred"))
+        env.run()
+        assert log == ["timeout", "deferred"]
+
+    def test_phases_order_regardless_of_creation(self, env):
+        log = []
+        env.defer(lambda: log.append("p3"), phase=3)
+        env.defer(lambda: log.append("p1"), phase=1)
+        env.defer(lambda: log.append("p2"), phase=2)
+        env.run()
+        assert log == ["p1", "p2", "p3"]
+
+    def test_same_phase_fifo(self, env):
+        log = []
+        for i in range(5):
+            env.defer(lambda i=i: log.append(i), phase=1)
+        env.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_invalid_phase(self, env):
+        with pytest.raises(SimulationError):
+            env.defer(lambda: None, phase=0)
+
+    def test_defer_does_not_advance_clock(self, env):
+        env.defer(lambda: None)
+        env.run()
+        assert env.now == 0.0
+
+    def test_nested_defer_runs_same_instant(self, env):
+        log = []
+
+        def outer():
+            log.append(("outer", env.now))
+            env.defer(lambda: log.append(("inner", env.now)), phase=2)
+
+        env.defer(outer, phase=1)
+        env.run()
+        assert log == [("outer", 0.0), ("inner", 0.0)]
+
+
+class TestTickerPhases:
+    def test_producer_consumer_sampler_ordering(self, env):
+        """The canonical pipeline: produce < drain < sample, every tick,
+        regardless of creation order or tick period."""
+        log = []
+        Ticker(env, 1.0, lambda now: log.append(("sample", now)), defer=3)
+        Ticker(env, 1.0, lambda now: log.append(("drain", now)), defer=1)
+
+        def start_producer():
+            Ticker(env, 1.0, lambda now: log.append(("produce", now)))
+
+        env.call_at(0.0, start_producer)
+        env.run(until=3.5)
+        per_tick = {}
+        for name, t in log:
+            per_tick.setdefault(t, []).append(name)
+        for t, names in per_tick.items():
+            assert names == ["produce", "drain", "sample"], (t, names)
+
+    def test_mixed_periods_preserve_phase_order(self, env):
+        """A 5s-period sampler still runs after the 1s-period drainer at
+        shared instants (the bug class the phase system exists for)."""
+        log = []
+        Ticker(env, 5.0, lambda now: log.append(("sample", now)), defer=3)
+        Ticker(env, 1.0, lambda now: log.append(("drain", now)), defer=1)
+        env.run(until=10.5)
+        for t in (0.0, 5.0, 10.0):
+            names = [n for n, tt in log if tt == t]
+            assert names == ["drain", "sample"], t
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    phases=st.lists(st.integers(min_value=1, max_value=4), min_size=1, max_size=20)
+)
+def test_defer_phase_order_property(phases):
+    """Deferred callbacks always run sorted by (phase, creation order)."""
+    env = Environment()
+    log = []
+    for i, phase in enumerate(phases):
+        env.defer(lambda i=i: log.append(i), phase=phase)
+    env.run()
+    expected = sorted(range(len(phases)), key=lambda i: (phases[i], i))
+    assert log == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=30
+    )
+)
+def test_timeout_completion_order_matches_time(delays):
+    """Timeouts always fire in non-decreasing time order, ties FIFO."""
+    env = Environment()
+    fired = []
+    for i, delay in enumerate(delays):
+        t = env.timeout(delay)
+        t.callbacks.append(lambda e, i=i, d=delay: fired.append((d, i)))
+    env.run()
+    times = [d for d, _ in fired]
+    assert times == sorted(times)
+    # FIFO among equal delays.
+    for d in set(times):
+        ids = [i for dd, i in fired if dd == d]
+        assert ids == sorted(ids)

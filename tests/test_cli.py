@@ -1,0 +1,103 @@
+"""Tests for the padll-repro command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestTraceCommands:
+    def test_generate_and_stats_csv(self, tmp_path, capsys):
+        out = tmp_path / "t.csv"
+        rc = main(
+            ["trace", "generate", "--kind", "mdt", "--minutes", "30",
+             "--seed", "3", "--out", str(out)]
+        )
+        assert rc == 0
+        assert out.exists()
+        assert "30 samples" in capsys.readouterr().out
+        rc = main(["trace", "stats", str(out)])
+        assert rc == 0
+        stats_out = capsys.readouterr().out
+        assert "getattr" in stats_out
+        assert "KOps/s" in stats_out
+
+    def test_generate_jsonl(self, tmp_path, capsys):
+        out = tmp_path / "t.jsonl"
+        rc = main(
+            ["trace", "generate", "--kind", "aggregate", "--minutes", "60",
+             "--out", str(out)]
+        )
+        assert rc == 0
+        from repro.workloads.trace import OpTrace
+
+        trace = OpTrace.load_jsonl(out)
+        assert trace.n_samples == 60
+
+    def test_generate_deterministic(self, tmp_path):
+        from repro.workloads.trace import OpTrace
+
+        a, b = tmp_path / "a.csv", tmp_path / "b.csv"
+        for out in (a, b):
+            main(
+                ["trace", "generate", "--kind", "mdt", "--minutes", "10",
+                 "--seed", "9", "--out", str(out)]
+            )
+        assert OpTrace.load_csv(a) == OpTrace.load_csv(b)
+
+
+class TestExperimentCommands:
+    def test_fig2_runs(self, capsys):
+        # fig2 is the fastest full experiment; others share its plumbing.
+        rc = main(["experiment", "fig2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "getattr" in out
+        assert "98" in out
+
+
+class TestPolicyCommands:
+    def test_check_valid(self, tmp_path, capsys):
+        import json
+
+        doc = {
+            "channels": [{"id": "metadata", "classes": ["metadata"]}],
+            "policies": [{"name": "cap", "channel": "metadata",
+                          "schedule": {"type": "constant", "rate": 1000}}],
+            "algorithm": {"type": "static", "rate_per_job": 500},
+        }
+        path = tmp_path / "cfg.json"
+        path.write_text(json.dumps(doc))
+        assert main(["policy", "check", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "StaticPartition" in out
+
+    def test_check_invalid(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"channels": [{"id": "c", "ops": ["warp"]}]}')
+        assert main(["policy", "check", str(path)]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+
+class TestExport:
+    def test_unsupported_export_warns(self, capsys):
+        rc = main(["experiment", "fig2", "--export", "/tmp/nowhere"])
+        assert rc == 0
+        assert "not supported" in capsys.readouterr().err

@@ -1,0 +1,113 @@
+"""Tests for the mdtest-style benchmark."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.pfs.costs import op_cost
+from repro.pfs.discrete import DiscreteMDS, DiscreteMDSConfig
+from repro.simulation.engine import Environment
+from repro.workloads.mdtest import (
+    PHASES,
+    MDTestConfig,
+    MDTestWorkload,
+    run_mdtest,
+)
+
+
+def small_config(**kw) -> MDTestConfig:
+    defaults = dict(files_per_proc=10, n_procs=4, dirs_per_proc=2)
+    defaults.update(kw)
+    return MDTestConfig(**defaults)
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kw", [{"files_per_proc": 0}, {"n_procs": 0}, {"dirs_per_proc": 0}]
+    )
+    def test_invalid(self, kw):
+        with pytest.raises(ConfigError):
+            small_config(**kw)
+
+    def test_totals(self):
+        config = small_config()
+        assert config.total_dirs == 8
+        assert config.total_files == 80
+
+
+class TestWorkload:
+    def test_phase_paths_unique_per_proc(self):
+        wl = MDTestWorkload(small_config())
+        paths = list(wl.phase_ops("file_create", proc=0))
+        assert len(paths) == len(set(paths)) == 20
+        other = list(wl.phase_ops("file_create", proc=1))
+        assert not set(paths) & set(other)  # procs touch disjoint trees
+
+    def test_phase_totals(self):
+        wl = MDTestWorkload(small_config())
+        assert wl.phase_total("dir_create") == 8
+        assert wl.phase_total("file_stat") == 80
+
+    def test_unknown_phase(self):
+        wl = MDTestWorkload(small_config())
+        with pytest.raises(ConfigError):
+            list(wl.phase_ops("teleport", 0))
+
+
+class TestRun:
+    def test_full_sequence_rates(self):
+        env = Environment()
+        mds = DiscreteMDS(env, DiscreteMDSConfig(capacity=1000.0, n_threads=4))
+        result = run_mdtest(env, mds, small_config())
+        assert set(result.phases) == {name for name, _ in PHASES}
+        # Closed-loop saturated rates reflect the per-kind cost model:
+        # stat (cost 1) runs faster than create (mknod, cost 4).
+        assert result.rate("file_stat") > 2 * result.rate("file_create")
+        # All ops were actually served by the MDS.
+        assert mds.served["mknod"] == 80
+        assert mds.served["getattr"] == 80
+        assert mds.served["unlink"] == 80
+        assert mds.served["mkdir"] == 8
+        assert mds.served["rmdir"] == 8
+
+    def test_saturated_stat_rate_matches_capacity(self):
+        env = Environment()
+        capacity = 2000.0
+        mds = DiscreteMDS(env, DiscreteMDSConfig(capacity=capacity, n_threads=8))
+        result = run_mdtest(
+            env, mds, small_config(files_per_proc=100, n_procs=8)
+        )
+        expected = capacity / op_cost("getattr")
+        assert result.rate("file_stat") == pytest.approx(expected, rel=0.1)
+
+    def test_throttle_hook_caps_rate(self):
+        env = Environment()
+        mds = DiscreteMDS(env, DiscreteMDSConfig(capacity=1e6, n_threads=8))
+        bucket_rate = 50.0
+        # Virtual-scheduling admission gate: each grant is one slot on a
+        # shared timeline spaced 1/rate apart (a token bucket's fluid
+        # limit without burst).
+        state = {"next_free": 0.0}
+
+        def throttle(kind: str, path: str):
+            grant_at = max(env.now, state["next_free"])
+            state["next_free"] = grant_at + 1.0 / bucket_rate
+            evt = env.event()
+            env.call_at(grant_at, lambda: evt.succeed())
+            return evt
+
+        result = run_mdtest(env, mds, small_config(), throttle=throttle)
+        # Every phase rate is bounded by the admission gate (N ops span
+        # (N-1) inter-grant gaps, hence the small-N boundary factor).
+        for name, (ops, secs, rate) in result.phases.items():
+            bound = bucket_rate * ops / (ops - 1) * 1.05
+            assert rate <= bound, name
+
+    def test_summary_lines_render(self):
+        env = Environment()
+        mds = DiscreteMDS(env, DiscreteMDSConfig(capacity=1000.0, n_threads=4))
+        result = run_mdtest(env, mds, small_config())
+        lines = result.summary_lines()
+        assert len(lines) == 1 + len(PHASES)
+        assert "ops/sec" in lines[0]
