@@ -6,6 +6,7 @@ Subcommands::
     padll-repro trace stats trace.csv
     padll-repro experiment fig1|fig2|fig4|fig5|overhead|harm|cost-aware
     padll-repro ablation lag|burst|loop
+    padll-repro perfbench [--smoke] [--out DIR]
 
 Each experiment subcommand regenerates the corresponding paper artefact
 and prints it as text (the same rendering the benchmarks use).
@@ -74,6 +75,37 @@ def build_parser() -> argparse.ArgumentParser:
     abl = sub.add_parser("ablation", help="run a design-knob sweep")
     abl.add_argument("name", choices=("lag", "burst", "loop"))
     abl.add_argument("--seed", type=int, default=0)
+
+    # -- perfbench ------------------------------------------------------------------
+    bench = sub.add_parser(
+        "perfbench",
+        help="run the performance benchmarks and record a BENCH_*.json point",
+    )
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--repeats", type=int, default=3, help="runs per benchmark (best is kept)"
+    )
+    bench.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="work-size multiplier (metrics are work/second, so results "
+        "from different scales stay comparable)",
+    )
+    bench.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI preset: --scale 0.05 --repeats 1",
+    )
+    bench.add_argument(
+        "--label", default="", help="free-form tag stored in the report"
+    )
+    bench.add_argument(
+        "--out",
+        metavar="DIR",
+        default=".",
+        help="directory for BENCH_<stamp>.json (default: current directory)",
+    )
 
     # -- policy configs ----------------------------------------------------------------
     policy = sub.add_parser("policy", help="validate a PADLL config file")
@@ -197,6 +229,30 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perfbench(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.perfbench import PerfbenchConfig, run_perfbench, save_report
+
+    scale, repeats = args.scale, args.repeats
+    if args.smoke:
+        scale, repeats = 0.05, 1
+    try:
+        config = PerfbenchConfig(
+            seed=args.seed, repeats=repeats, scale=scale, label=args.label
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # Resolve the git SHA against the source checkout, not the caller's
+    # cwd (for an installed package this still degrades to "unknown").
+    report = run_perfbench(config, repo_root=Path(__file__).resolve().parents[2])
+    path = save_report(report, Path(args.out))
+    print(report.summary())
+    print(f"wrote {path}")
+    return 0
+
+
 def _cmd_policy_check(args: argparse.Namespace) -> int:
     from repro.errors import ConfigError
     from repro.core.config import load_config
@@ -231,6 +287,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_trace_stats(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
+        if args.command == "perfbench":
+            return _cmd_perfbench(args)
         if args.command == "policy":
             return _cmd_policy_check(args)
         return _cmd_ablation(args)

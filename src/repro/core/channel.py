@@ -151,9 +151,7 @@ class Channel:
         # Return unused allowance (from batch-boundary rounding) to the
         # bucket: the discrete path consumes whole requests only.
         if remaining > 0:
-            self.bucket._tokens = min(
-                self.bucket.capacity, self.bucket._tokens + remaining
-            )
+            self.bucket.refund(remaining)
         self._backlog -= granted
         if not self._queue:
             self._backlog = 0.0  # clamp accumulated float error

@@ -10,17 +10,33 @@ which mirrors the paper's behaviour for non-PFS traffic.
 Rules are evaluated in priority order (highest first, then insertion
 order), so an administrator can install a specific rule ("open calls to
 /scratch/foo") above a broad one ("all metadata").
+
+Fast path
+---------
+``classify`` is called once per intercepted request -- millions of times
+per experiment -- so decisions are memoised in a generation-stamped cache
+keyed on ``(op, job_id, dirname(path))`` (the operation class is implied
+by the operation type, so it needs no key slot).  Caching per *directory*
+is exact except when some rule prefix or PFS mount points at an entry
+*inside* that directory, in which case siblings can classify differently;
+those directories are precomputed and fall back to exact-path keys.  The
+cache is invalidated whenever the rule table changes.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
 from repro.core.requests import OperationClass, OperationType, Request
 
 __all__ = ["Decision", "PASSTHROUGH", "ClassifierRule", "Classifier"]
+
+#: Decisions cached per classifier before the cache is reset (a safety
+#: bound for adversarial path churn; experiments use a few dozen keys).
+_CACHE_LIMIT = 8192
 
 
 @dataclass(frozen=True, slots=True)
@@ -51,7 +67,17 @@ def _path_matches(path: str, prefix: str) -> bool:
     return path == prefix or path.startswith(prefix + "/")
 
 
-@dataclass(slots=True)
+def _dirname(path: str) -> str:
+    """Directory part of ``path`` (posixpath.dirname without the import cost)."""
+    i = path.rfind("/")
+    if i > 0:
+        return path[:i]
+    if i == 0:
+        return "/"
+    return ""
+
+
+@dataclass(frozen=True, slots=True)
 class ClassifierRule:
     """One differentiation rule.
 
@@ -67,6 +93,11 @@ class ClassifierRule:
     path_prefixes: Optional[tuple[str, ...]] = None
     job_ids: Optional[frozenset[str]] = None
     priority: int = 0
+    #: Precomputed (prefix, prefix + "/") pairs so matching never builds
+    #: the slash-terminated string per request.
+    _prefix_pairs: Optional[tuple[tuple[str, str], ...]] = field(
+        init=False, repr=False, compare=False, default=None
+    )
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -89,6 +120,9 @@ class ClassifierRule:
             if not prefixes:
                 raise ConfigError(f"rule {self.name!r} has an empty prefix list")
             object.__setattr__(self, "path_prefixes", prefixes)
+            object.__setattr__(
+                self, "_prefix_pairs", tuple((p, p + "/") for p in prefixes)
+            )
         if self.job_ids is not None:
             object.__setattr__(self, "job_ids", frozenset(self.job_ids))
 
@@ -99,10 +133,17 @@ class ClassifierRule:
             return False
         if self.job_ids is not None and request.job_id not in self.job_ids:
             return False
-        if self.path_prefixes is not None and not any(
-            _path_matches(request.path, p) for p in self.path_prefixes
-        ):
-            return False
+        pairs = self._prefix_pairs
+        if pairs is not None:
+            path = request.path
+            for prefix, slashed in pairs:
+                if prefix == "/":
+                    if path.startswith("/"):
+                        break
+                elif path == prefix or path.startswith(slashed):
+                    break
+            else:
+                return False
         return True
 
 
@@ -122,11 +163,24 @@ class Classifier:
         pfs_mounts: Optional[Sequence[str]] = None,
     ) -> None:
         self._rules: list[ClassifierRule] = []
+        #: Sort keys parallel to ``_rules``: negated priority, so bisect on
+        #: an ascending list yields descending-priority order with stable
+        #: (insertion-order) placement among equal priorities.
+        self._rule_keys: list[int] = []
+        self._names: set[str] = set()
         self._mounts: Optional[tuple[str, ...]] = None
+        self._mount_pairs: Tuple[tuple[str, str], ...] = ()
         if pfs_mounts is not None:
             self._mounts = tuple(_normalise_prefix(m) for m in pfs_mounts)
             if not self._mounts:
                 raise ConfigError("pfs_mounts must not be empty when given")
+            self._mount_pairs = tuple((m, m + "/") for m in self._mounts)
+        #: Decision cache; bumped-and-cleared on any rule-table change.
+        self._cache: Dict[tuple, Decision] = {}
+        self._generation = 0
+        #: Directories containing a rule prefix or mount endpoint: paths in
+        #: these directories use exact-path cache keys (see module docs).
+        self._ambiguous_dirs: frozenset[str] = self._compute_ambiguous_dirs()
         for rule in rules:
             self.add_rule(rule)
 
@@ -139,31 +193,78 @@ class Classifier:
     def pfs_mounts(self) -> Optional[tuple[str, ...]]:
         return self._mounts
 
+    @property
+    def generation(self) -> int:
+        """Bumped on every rule-table change (cache-invalidation stamp)."""
+        return self._generation
+
+    def _compute_ambiguous_dirs(self) -> frozenset[str]:
+        dirs = set()
+        for rule in self._rules:
+            for prefix in rule.path_prefixes or ():
+                dirs.add(_dirname(prefix))
+        for mount in self._mounts or ():
+            dirs.add(_dirname(mount))
+        return frozenset(dirs)
+
+    def _invalidate(self) -> None:
+        self._generation += 1
+        self._cache.clear()
+        self._ambiguous_dirs = self._compute_ambiguous_dirs()
+
     def add_rule(self, rule: ClassifierRule) -> None:
         """Insert a rule, keeping the table sorted by descending priority.
 
         Insertion among equal priorities is stable (earlier installs win).
+        Duplicate detection and placement are O(log n) via a name set and
+        a parallel sort-key list.
         """
-        if any(r.name == rule.name for r in self._rules):
+        if rule.name in self._names:
             raise ConfigError(f"duplicate rule name {rule.name!r}")
-        idx = len(self._rules)
-        for i, existing in enumerate(self._rules):
-            if existing.priority < rule.priority:
-                idx = i
-                break
+        key = -rule.priority
+        idx = bisect_right(self._rule_keys, key)
+        self._rule_keys.insert(idx, key)
         self._rules.insert(idx, rule)
+        self._names.add(rule.name)
+        self._invalidate()
 
     def remove_rule(self, name: str) -> None:
         for i, rule in enumerate(self._rules):
             if rule.name == name:
                 del self._rules[i]
+                del self._rule_keys[i]
+                self._names.discard(name)
+                self._invalidate()
                 return
         raise ConfigError(f"no rule named {name!r}")
 
     def classify(self, request: Request) -> Decision:
         """Return the decision for ``request`` (first matching rule wins)."""
-        if self._mounts is not None and request.path:
-            if not any(_path_matches(request.path, m) for m in self._mounts):
+        path = request.path
+        directory = _dirname(path)
+        if directory in self._ambiguous_dirs:
+            key = (request.op, request.job_id, path, True)
+        else:
+            key = (request.op, request.job_id, directory, False)
+        decision = self._cache.get(key)
+        if decision is not None:
+            return decision
+        decision = self._classify_uncached(request)
+        if len(self._cache) >= _CACHE_LIMIT:
+            self._cache.clear()
+        self._cache[key] = decision
+        return decision
+
+    def _classify_uncached(self, request: Request) -> Decision:
+        path = request.path
+        if self._mount_pairs and path:
+            for mount, slashed in self._mount_pairs:
+                if mount == "/":
+                    if path.startswith("/"):
+                        break
+                elif path == mount or path.startswith(slashed):
+                    break
+            else:
                 return PASSTHROUGH
         for rule in self._rules:
             if rule.matches(request):

@@ -14,7 +14,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, Optional
+from types import MappingProxyType
+from typing import Callable, Dict, Iterable, List, Mapping, Optional
 
 from repro.errors import ConfigError
 from repro.core.channel import Channel
@@ -126,14 +127,20 @@ class DataPlaneStage:
         self._sink = sink
         self.classifier = Classifier(pfs_mounts=self.config.pfs_mounts)
         self._channels: Dict[str, Channel] = {}
+        #: Channels in creation order; ``drain`` iterates this list instead
+        #: of rebuilding a dict view every tick.
+        self._channel_list: List[Channel] = []
+        #: Zero-copy read view handed out by the ``channels`` property.
+        self._channels_view: Mapping[str, Channel] = MappingProxyType(self._channels)
         self._passthrough_window = 0.0
         self._passthrough_total = 0.0
         self._last_collect = 0.0
 
     # -- channel management (control-plane driven) ---------------------------
     @property
-    def channels(self) -> Dict[str, Channel]:
-        return dict(self._channels)
+    def channels(self) -> Mapping[str, Channel]:
+        """Read-only live view of the channel table (no copy per access)."""
+        return self._channels_view
 
     def create_channel(
         self,
@@ -150,6 +157,7 @@ class DataPlaneStage:
             channel_id, rate, burst, now=now, integral=self.config.integral
         )
         self._channels[channel_id] = channel
+        self._channel_list.append(channel)
         return channel
 
     def remove_channel(self, channel_id: str) -> None:
@@ -160,6 +168,7 @@ class DataPlaneStage:
                 f"channel {channel_id!r} still holds {channel.backlog} queued ops"
             )
         del self._channels[channel_id]
+        self._channel_list.remove(channel)
 
     def set_channel_rate(
         self, channel_id: str, rate: float, now: float, burst: Optional[float] = None
@@ -212,7 +221,7 @@ class DataPlaneStage:
         """
         total = 0.0
         remaining = limit
-        for channel in self._channels.values():
+        for channel in self._channel_list:
             if remaining <= 0:
                 # Still refill the bucket so allowance accrues correctly.
                 channel.bucket.refill(now)
@@ -226,7 +235,7 @@ class DataPlaneStage:
     def backlog(self, channel_id: Optional[str] = None) -> float:
         if channel_id is not None:
             return self._channel(channel_id).backlog
-        return sum(c.backlog for c in self._channels.values())
+        return sum(c.backlog for c in self._channel_list)
 
     @property
     def passthrough_total(self) -> float:
@@ -236,7 +245,7 @@ class DataPlaneStage:
         """Export and reset window statistics (control-plane heartbeat)."""
         window = now - self._last_collect
         snapshots = []
-        for channel in self._channels.values():
+        for channel in self._channel_list:
             granted, enqueued, backlog = channel.collect()
             snapshots.append(
                 ChannelSnapshot(

@@ -152,6 +152,20 @@ class TokenBucket:
         self._tokens -= granted
         return granted
 
+    def refund(self, n: float) -> None:
+        """Return ``n`` unused tokens to the balance, clamped to capacity.
+
+        Drain paths that reserve allowance up front (e.g. a channel that
+        could not place whole requests at a batch boundary) hand the
+        surplus back here.  Refunding an unlimited bucket is a no-op: the
+        balance is already infinite, so no arithmetic is needed.
+        """
+        if n < 0:
+            raise ConfigError(f"cannot refund {n} tokens")
+        if math.isinf(self._tokens):
+            return
+        self._tokens = min(self._capacity, self._tokens + n)
+
     def time_until(self, n: float, now: float) -> float:
         """Seconds from ``now`` until ``n`` tokens will be available.
 

@@ -1,0 +1,42 @@
+"""End-to-end benchmark: one fig4-scale experiment, wall-clock timed.
+
+This exercises the full stack -- trace generation, replayers, stages,
+classifier, token buckets, the control loop, the MDS model, and the
+collector -- exactly the path every figure regeneration takes.  The
+metric is simulated seconds per wall second, so higher is faster.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+from repro.experiments.fig4 import run_fig4_metadata
+
+__all__ = ["bench_fig4"]
+
+
+def bench_fig4(
+    seed: int = 0,
+    duration: float = 600.0,
+    step_period: float = 120.0,
+    drain_tail: float = 120.0,
+) -> Dict[str, float]:
+    """Run the fig4 'open' panel (all three setups) and time it."""
+    start = time.perf_counter()
+    result = run_fig4_metadata(
+        "open",
+        seed=seed,
+        duration=duration,
+        step_period=step_period,
+        drain_tail=drain_tail,
+    )
+    elapsed = time.perf_counter() - start
+    # 3 setups (baseline / passthrough / padll) each simulate the window.
+    sim_seconds = 3.0 * (duration + drain_tail)
+    return {
+        "value": sim_seconds / elapsed,
+        "work": sim_seconds,
+        "elapsed_s": elapsed,
+        "n_limits": float(len(result.limits)),
+    }

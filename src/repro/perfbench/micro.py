@@ -1,0 +1,202 @@
+"""Microbenchmarks for the engine and data-plane hot paths.
+
+Each benchmark performs a *fixed amount of logical work* (ticks, yields,
+submissions, classifications) and reports logical operations per wall
+second, so results stay comparable across code changes that alter how many
+internal events the same work allocates.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+from repro.core.differentiation import Classifier, ClassifierRule
+from repro.core.requests import OperationClass, OperationType, Request
+from repro.core.stage import DataPlaneStage, StageConfig, StageIdentity
+from repro.simulation.engine import Environment
+from repro.simulation.ticker import Ticker
+
+__all__ = ["bench_engine", "bench_stage", "bench_classifier"]
+
+
+def _engine_scenario(duration: float) -> int:
+    """Run the representative engine workload; return logical events done.
+
+    The mix mirrors what the experiments stress.  The fluid experiments
+    (fig4/fig5, harm, ablations) are driven almost entirely by periodic
+    tickers -- replayers, stage drains, the control loop, the collector --
+    so tickers dominate; processes sleeping on timeouts and processes
+    waiting on already-fired events (the resume-immediately path) cover
+    the discrete experiments' yield patterns.
+    """
+    env = Environment()
+    counters = {"ticks": 0, "yields": 0}
+
+    def count_tick(_now: float) -> None:
+        counters["ticks"] += 1
+
+    for i in range(32):
+        Ticker(env, 1.0, count_tick, name=f"plain{i}")
+    for i in range(32):
+        Ticker(env, 1.0, count_tick, name=f"deferred{i}", defer=1 + (i % 3))
+
+    def sleeper():
+        while True:
+            yield env.timeout(1.0)
+            counters["yields"] += 1
+
+    def hopper():
+        # Waits on events that have already been processed: exercises the
+        # resume-immediately path (one extra engine hop per iteration).
+        while True:
+            evt = env.event()
+            evt.succeed()
+            yield env.timeout(1.0)
+            yield evt
+            counters["yields"] += 2
+
+    for _ in range(4):
+        env.process(sleeper())
+    for _ in range(2):
+        env.process(hopper())
+
+    env.run(until=duration)
+    return counters["ticks"] + counters["yields"]
+
+
+def bench_engine(duration: float = 2000.0) -> Dict[str, float]:
+    """Engine events/sec over the mixed ticker/timeout/hop scenario."""
+    start = time.perf_counter()
+    work = _engine_scenario(duration)
+    elapsed = time.perf_counter() - start
+    return {
+        "value": work / elapsed,
+        "work": float(work),
+        "elapsed_s": elapsed,
+    }
+
+
+_STAGE_OPS = (
+    (OperationType.OPEN, "/pfs/scratch/job/a/file-1"),
+    (OperationType.STAT, "/pfs/scratch/job/a/file-2"),
+    (OperationType.CLOSE, "/pfs/scratch/job/a/file-1"),
+    (OperationType.MKDIR, "/pfs/scratch/job/b"),
+    (OperationType.GETXATTR, "/pfs/scratch/job/b/file-3"),
+    (OperationType.READ, "/pfs/data/job/blob-1"),
+    (OperationType.WRITE, "/pfs/data/job/blob-2"),
+    (OperationType.STAT, "/nfs/home/user/notes.txt"),
+)
+
+
+def _build_stage() -> DataPlaneStage:
+    stage = DataPlaneStage(
+        StageIdentity("bench-stage", "bench-job"),
+        sink=lambda request: None,
+        config=StageConfig(pfs_mounts=("/pfs",)),
+    )
+    stage.create_channel("meta", rate=1e9)
+    stage.create_channel("data", rate=1e9)
+    stage.add_classifier_rule(
+        ClassifierRule(
+            name="open-calls",
+            channel_id="meta",
+            op_types=frozenset({OperationType.OPEN, OperationType.CREAT}),
+            priority=10,
+        )
+    )
+    stage.add_classifier_rule(
+        ClassifierRule(
+            name="scratch-meta",
+            channel_id="meta",
+            op_classes=frozenset(
+                {
+                    OperationClass.METADATA,
+                    OperationClass.DIRECTORY_MANAGEMENT,
+                    OperationClass.EXTENDED_ATTRIBUTES,
+                }
+            ),
+            path_prefixes=("/pfs/scratch",),
+            priority=5,
+        )
+    )
+    stage.add_classifier_rule(
+        ClassifierRule(
+            name="all-data",
+            channel_id="data",
+            op_classes=frozenset({OperationClass.DATA}),
+        )
+    )
+    return stage
+
+
+def bench_stage(n_ops: int = 200_000, drain_every: int = 64) -> Dict[str, float]:
+    """Stage submit+drain ops/sec over a mixed op/path workload."""
+    stage = _build_stage()
+    ops = _STAGE_OPS
+    n_kinds = len(ops)
+    start = time.perf_counter()
+    now = 0.0
+    for i in range(n_ops):
+        op, path = ops[i % n_kinds]
+        stage.submit(Request(op=op, path=path, job_id="bench-job"), now)
+        if i % drain_every == drain_every - 1:
+            now += 1e-3
+            stage.drain(now)
+    stage.drain(now + 1.0)
+    elapsed = time.perf_counter() - start
+    return {
+        "value": n_ops / elapsed,
+        "work": float(n_ops),
+        "elapsed_s": elapsed,
+        "residual_backlog": stage.backlog(),
+    }
+
+
+def bench_classifier(n_ops: int = 500_000) -> Dict[str, float]:
+    """Classifier decisions/sec over a mixed matched/passthrough workload."""
+    classifier = Classifier(
+        rules=[
+            ClassifierRule(
+                name="open-calls",
+                channel_id="meta",
+                op_types=frozenset({OperationType.OPEN, OperationType.CREAT}),
+                priority=10,
+            ),
+            ClassifierRule(
+                name="scratch-meta",
+                channel_id="meta",
+                op_classes=frozenset(
+                    {
+                        OperationClass.METADATA,
+                        OperationClass.DIRECTORY_MANAGEMENT,
+                        OperationClass.EXTENDED_ATTRIBUTES,
+                    }
+                ),
+                path_prefixes=("/pfs/scratch",),
+                priority=5,
+            ),
+            ClassifierRule(
+                name="job-data",
+                channel_id="data",
+                op_classes=frozenset({OperationClass.DATA}),
+                job_ids=frozenset({"job1", "job2"}),
+            ),
+        ],
+        pfs_mounts=("/pfs",),
+    )
+    requests = [
+        Request(op=op, path=path, job_id=job)
+        for op, path in _STAGE_OPS
+        for job in ("job1", "job2", "job3")
+    ]
+    n_kinds = len(requests)
+    start = time.perf_counter()
+    for i in range(n_ops):
+        classifier.classify(requests[i % n_kinds])
+    elapsed = time.perf_counter() - start
+    return {
+        "value": n_ops / elapsed,
+        "work": float(n_ops),
+        "elapsed_s": elapsed,
+    }

@@ -174,6 +174,23 @@ class Namespace:
             raise NotADirectoryEntry(path)
         return parent, parts[-1]
 
+    def _in_subtree(self, node: Inode, ino: int) -> bool:
+        """Whether ``ino`` is ``node`` itself or a descendant directory.
+
+        Directories cannot be hard-linked, so the directory graph is a
+        tree and this walk terminates.
+        """
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current.ino == ino:
+                return True
+            for child_ino in current.entries.values():
+                child = self._get(child_ino)
+                if child.is_dir:
+                    stack.append(child)
+        return False
+
     def _resolve(self, path: str, follow: bool = True, _depth: int = 0) -> Inode:
         if _depth > 16:
             raise NamespaceError(f"too many levels of symbolic links: {path!r}")
@@ -331,6 +348,12 @@ class Namespace:
         if src_ino is None:
             raise NoSuchEntry(src)
         node = self._get(src_ino)
+        if node.is_dir and self._in_subtree(node, dst_parent.ino):
+            # Renaming a directory under itself would detach it from the
+            # tree (rename(2) returns EINVAL for this).
+            raise NamespaceError(
+                f"cannot move {src!r} into its own subtree at {dst!r}"
+            )
         existing = dst_parent.entries.get(dst_name)
         if existing is not None:
             if existing == src_ino:

@@ -13,6 +13,18 @@ Processes are plain generators.  ``yield timeout`` suspends the process;
 This is the same contract as SimPy's, which keeps simulation code legible
 (the "make it work in a simple legible way" rule from the optimisation
 workflow we follow).
+
+Fast path
+---------
+Besides full :class:`Event` objects, the heap carries bare ``(fn, arg)``
+tuples (pushed via :meth:`Environment._schedule_call`).  They fire as a
+single call with no Event allocation, no callbacks list, and no processed
+bookkeeping.  Process boot, resume-after-processed-event hops, interrupt
+delivery, deferrals, and ticker ticks all ride this path; within an
+instant they sort by ``(priority, sequence)`` exactly like events do, so
+the execution order is identical to the event-based implementation they
+replaced -- which keeps fixed-seed experiments bit-reproducible across
+the optimisation.
 """
 
 from __future__ import annotations
@@ -86,7 +98,9 @@ class Event:
             raise SimulationError(f"{self!r} already triggered")
         self._triggered = True
         self._value = value
-        self.env._schedule(self, NORMAL)
+        env = self.env
+        env._seq += 1
+        heapq.heappush(env._heap, (env._now, NORMAL, env._seq, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -98,7 +112,9 @@ class Event:
         self._triggered = True
         self._ok = False
         self._value = exception
-        self.env._schedule(self, NORMAL)
+        env = self.env
+        env._seq += 1
+        heapq.heappush(env._heap, (env._now, NORMAL, env._seq, self))
         return self
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -118,11 +134,17 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay!r}")
-        super().__init__(env)
-        self.delay = delay
-        self._triggered = True
+        # Inlined Event.__init__ plus scheduling: a Timeout is created for
+        # every sleep, so this constructor is one of the hottest sites.
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env._schedule(self, URGENT, delay=delay)
+        self._ok = True
+        self._triggered = True
+        self._processed = False
+        self.delay = delay
+        env._seq += 1
+        heapq.heappush(env._heap, (env._now + delay, URGENT, env._seq, self))
 
 
 class Interrupt(Exception):
@@ -158,10 +180,9 @@ class Process(Event):
         self._generator = generator
         self._target: Optional[Event] = None
         self.name = name or getattr(generator, "__name__", "process")
-        # Kick the process off at the current time.
-        boot = Event(env)
-        boot.callbacks.append(self._resume)
-        boot.succeed()
+        # Kick the process off at the current time (no boot Event: the
+        # callback tuple fires in the same heap position one would).
+        env._schedule_call(self._start, None)
 
     @property
     def is_alive(self) -> bool:
@@ -180,9 +201,7 @@ class Process(Event):
                 self._target.callbacks.remove(self._resume)
             except ValueError:
                 pass
-        hit = Event(self.env)
-        hit.callbacks.append(lambda _evt: self._throw(Interrupt(cause)))
-        hit.succeed()
+        self.env._schedule_call(self._throw, Interrupt(cause))
 
     def kill(self) -> None:
         """Terminate the process by raising :class:`ProcessKilled` in it."""
@@ -195,20 +214,23 @@ class Process(Event):
             self._throw(ProcessKilled(self.name))
 
     # -- engine internals ---------------------------------------------------
+    def _start(self, _arg: Any) -> None:
+        self._step(self._generator.send, None)
+
     def _resume(self, event: Event) -> None:
         self._target = None
-        if event.ok:
-            self._step(lambda: self._generator.send(event.value))
+        if event._ok:
+            self._step(self._generator.send, event._value)
         else:
-            self._step(lambda: self._generator.throw(event.value))
+            self._step(self._generator.throw, event._value)
 
     def _throw(self, exc: BaseException) -> None:
         self._target = None
-        self._step(lambda: self._generator.throw(exc))
+        self._step(self._generator.throw, exc)
 
-    def _step(self, advance: Callable[[], Any]) -> None:
+    def _step(self, advance: Callable[[Any], Any], value: Any) -> None:
         try:
-            target = advance()
+            target = advance(value)
         except StopIteration as stop:
             if not self._triggered:
                 self.succeed(stop.value)
@@ -221,13 +243,9 @@ class Process(Event):
             raise SimulationError(
                 f"process {self.name!r} yielded {target!r}; processes must yield events"
             )
-        if target.processed:
-            # Already fired: resume immediately (schedule a zero-delay hop).
-            hop = Event(self.env)
-            hop.callbacks.append(
-                lambda _e: self._resume(target)
-            )
-            hop.succeed()
+        if target._processed:
+            # Already fired: resume at this instant, after pending events.
+            self.env._schedule_call(self._resume, target)
         else:
             self._target = target
             assert target.callbacks is not None
@@ -331,7 +349,7 @@ class Environment:
         evt.callbacks.append(lambda _e: fn())
         return evt
 
-    def defer(self, fn: Callable[[], None], phase: int = 1) -> Event:
+    def defer(self, fn: Callable[[], None], phase: int = 1) -> None:
         """Run ``fn`` at the current instant, *after* every normally
         scheduled event for this instant, in ascending ``phase`` order.
 
@@ -345,39 +363,48 @@ class Environment:
         """
         if phase < 1:
             raise SimulationError(f"defer phase must be >= 1, got {phase}")
-        evt = Event(self)
-        assert evt.callbacks is not None
-        evt.callbacks.append(lambda _e: fn())
-        evt._triggered = True
-        self._schedule(evt, NORMAL + int(phase))
-        return evt
+        self._schedule_call(_invoke, fn, NORMAL + int(phase))
 
     # -- scheduling & main loop ----------------------------------------------
     def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
         self._seq += 1
         heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
 
+    def _schedule_call(
+        self,
+        fn: Callable[[Any], None],
+        arg: Any,
+        priority: int = NORMAL,
+        delay: float = 0.0,
+    ) -> None:
+        """Schedule a bare ``fn(arg)`` call: no Event allocation at all."""
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, (fn, arg)))
+
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` when idle."""
         return self._heap[0][0] if self._heap else float("inf")
 
     def step(self) -> None:
-        """Process exactly one event (advancing the clock to it)."""
+        """Process exactly one heap entry (advancing the clock to it)."""
         if not self._heap:
             raise SimulationError("step() on an empty schedule")
-        when, _prio, _seq, event = heapq.heappop(self._heap)
+        when, _prio, _seq, item = heapq.heappop(self._heap)
         self._now = when
-        callbacks = event.callbacks
-        event.callbacks = None
-        event._processed = True
+        if item.__class__ is tuple:
+            item[0](item[1])
+            return
+        callbacks = item.callbacks
+        item.callbacks = None
+        item._processed = True
         if callbacks:
             for cb in callbacks:
-                cb(event)
-        elif not event.ok and not isinstance(event.value, ProcessKilled):
+                cb(item)
+        elif not item._ok and not isinstance(item._value, ProcessKilled):
             # A failed event nobody waited on: surface the error instead
             # of silently swallowing it.  (A deliberate kill() of an
             # unjoined process is not an error.)
-            raise event.value
+            raise item._value
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the schedule drains or the clock reaches ``until``.
@@ -385,13 +412,49 @@ class Environment:
         When ``until`` is given the clock is advanced to exactly ``until``
         even if the last event fires earlier, so periodic samplers observe a
         well-defined end time.
+
+        The dispatch loop is inlined (rather than calling :meth:`step`)
+        with the heap and ``heappop`` bound to locals: this loop pops every
+        single entry of every experiment, so call overhead here is a
+        first-order cost.
         """
+        heap = self._heap
+        pop = heapq.heappop
         if until is None:
-            while self._heap:
-                self.step()
+            while heap:
+                when, _prio, _seq, item = pop(heap)
+                self._now = when
+                if item.__class__ is tuple:
+                    item[0](item[1])
+                    continue
+                callbacks = item.callbacks
+                item.callbacks = None
+                item._processed = True
+                if callbacks:
+                    for cb in callbacks:
+                        cb(item)
+                elif not item._ok and not isinstance(item._value, ProcessKilled):
+                    raise item._value
             return
         if until < self._now:
             raise SimulationError(f"run(until={until}) is in the past (now={self._now})")
-        while self._heap and self._heap[0][0] <= until:
-            self.step()
+        while heap and heap[0][0] <= until:
+            when, _prio, _seq, item = pop(heap)
+            self._now = when
+            if item.__class__ is tuple:
+                item[0](item[1])
+                continue
+            callbacks = item.callbacks
+            item.callbacks = None
+            item._processed = True
+            if callbacks:
+                for cb in callbacks:
+                    cb(item)
+            elif not item._ok and not isinstance(item._value, ProcessKilled):
+                raise item._value
         self._now = float(until)
+
+
+def _invoke(fn: Callable[[], None]) -> None:
+    """Adapter so zero-argument deferrals ride the ``(fn, arg)`` fast path."""
+    fn()

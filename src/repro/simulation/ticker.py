@@ -2,18 +2,28 @@
 
 Fluid-mode components (replayers, stages draining their queues, monitors,
 the control plane's feedback loop) all run on fixed periods.  ``Ticker``
-wraps the generator boilerplate once so those components stay as plain
+wraps the scheduling boilerplate once so those components stay as plain
 callbacks, and guarantees a stable callback order *within* a tick:
 callbacks registered earlier run earlier, and tickers created earlier fire
 earlier at equal times.  Experiments rely on that determinism.
+
+A ticker does not allocate an event graph per tick: each tick is a single
+``(fn, arg)`` heap entry (:meth:`Environment._schedule_call`), so a
+periodic tick costs one heap push.  The scheduling shape mirrors the
+original generator implementation exactly -- first tick at the creation
+instant in the triggered-event phase (or, with ``start > 0``, a timeout
+scheduled *during* that phase), subsequent ticks in the timeout phase --
+so within-instant ordering, and therefore every fixed-seed experiment
+output, is unchanged.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from heapq import heappush
+from typing import Callable
 
 from repro.errors import SimulationError
-from repro.simulation.engine import Environment, Process
+from repro.simulation.engine import NORMAL, URGENT, Environment
 
 __all__ = ["Ticker"]
 
@@ -25,6 +35,19 @@ class Ticker:
     future ticks; a ticker whose callback raises stops and re-raises, which
     fails the simulation loudly instead of silently dropping ticks.
     """
+
+    __slots__ = (
+        "env",
+        "period",
+        "fn",
+        "name",
+        "defer",
+        "_stopped",
+        "_ticks",
+        "_start",
+        "_tick_entry",
+        "_defer_priority",
+    )
 
     def __init__(
         self,
@@ -39,6 +62,8 @@ class Ticker:
             raise SimulationError(f"ticker period must be positive, got {period}")
         if start < 0:
             raise SimulationError(f"ticker start must be >= 0, got {start}")
+        if defer < 0:
+            raise SimulationError(f"ticker defer phase must be >= 0, got {defer}")
         self.env = env
         self.period = float(period)
         self.fn = fn
@@ -52,7 +77,15 @@ class Ticker:
         self.defer = int(defer)
         self._stopped = False
         self._ticks = 0
-        self._process: Process = env.process(self._run(start), name=name)
+        self._start = float(start)
+        # Reused heap payload: the heap never compares it (the sequence
+        # number is unique), so one tuple serves every tick.
+        self._tick_entry = (self._tick, None)
+        self._defer_priority = NORMAL + self.defer
+        # The boot entry fires in the triggered-event phase of the creation
+        # instant (like a process boot used to), so tickers keep their
+        # creation-order position relative to processes started nearby.
+        env._schedule_call(self._boot, None, NORMAL)
 
     @property
     def ticks(self) -> int:
@@ -67,18 +100,51 @@ class Ticker:
         """Prevent any further ticks (idempotent)."""
         self._stopped = True
 
-    def _fire(self, now: float) -> None:
+    def _boot(self, _arg: object) -> None:
         if self._stopped:
             return
-        self.fn(now)
-        self._ticks += 1
+        env = self.env
+        if self.defer:
+            # A deferred ticker is one self-rescheduling heap entry at its
+            # deferral priority: each tick costs a single push.  Ordering
+            # matches the two-entry (timeout + deferral) shape it replaced:
+            # ticker-origin entries of a phase precede same-instant
+            # event-origin deferrals in both schemes, and same-phase
+            # tickers re-push in firing order, which is creation order.
+            env._seq += 1
+            heappush(
+                env._heap,
+                (env._now + self._start, self._defer_priority, env._seq, self._tick_entry),
+            )
+        elif self._start > 0:
+            env._seq += 1
+            heappush(
+                env._heap,
+                (env._now + self._start, URGENT, env._seq, self._tick_entry),
+            )
+        else:
+            self._tick(None)
 
-    def _run(self, start: float):
-        if start > 0:
-            yield self.env.timeout(start)
-        while not self._stopped:
-            if self.defer:
-                self.env.defer(lambda: self._fire(self.env.now), phase=self.defer)
-            else:
-                self._fire(self.env.now)
-            yield self.env.timeout(self.period)
+    def _tick(self, _arg: object) -> None:
+        if self._stopped:
+            return
+        env = self.env
+        if self.defer:
+            # Reschedule before firing: the generator implementation had
+            # the next tick pending before the deferred callback ran, so a
+            # raising callback leaves the ticker resumable.
+            env._seq += 1
+            heappush(
+                env._heap,
+                (env._now + self.period, self._defer_priority, env._seq, self._tick_entry),
+            )
+            self.fn(env._now)
+            self._ticks += 1
+        else:
+            self.fn(env._now)
+            self._ticks += 1
+            env._seq += 1
+            heappush(
+                env._heap,
+                (env._now + self.period, URGENT, env._seq, self._tick_entry),
+            )

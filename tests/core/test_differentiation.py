@@ -150,3 +150,102 @@ def test_classification_is_deterministic_and_total(op, path, job):
     assert first == second
     if first.enforced:
         assert first.channel_id in ("c1", "metadata")
+
+
+class TestRuleOrderMaintenance:
+    """Regressions for the sorted-insert rule table (was an O(n^2) re-sort)."""
+
+    def test_add_rule_keeps_stable_descending_priority(self):
+        clf = Classifier()
+        for name, priority in [
+            ("a", 0), ("b", 5), ("c", 5), ("d", 10), ("e", 0), ("f", 5),
+        ]:
+            clf.add_rule(md_rule(name=name, channel=f"ch-{name}", priority=priority))
+        assert [r.name for r in clf.rules] == ["d", "b", "c", "f", "a", "e"]
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.integers(min_value=-5, max_value=5), max_size=30))
+    def test_order_matches_stable_sort(self, priorities):
+        clf = Classifier()
+        for i, priority in enumerate(priorities):
+            clf.add_rule(md_rule(name=f"r{i}", channel="ch", priority=priority))
+        expected = [
+            f"r{i}"
+            for i, _ in sorted(enumerate(priorities), key=lambda item: -item[1])
+        ]
+        assert [r.name for r in clf.rules] == expected
+
+    def test_remove_then_readd_same_name(self):
+        clf = Classifier([md_rule(name="x")])
+        clf.remove_rule("x")
+        clf.add_rule(md_rule(name="x"))  # name is free again
+        assert [r.name for r in clf.rules] == ["x"]
+
+
+class TestDecisionCache:
+    def test_add_rule_invalidates_cached_decisions(self):
+        clf = Classifier(pfs_mounts=("/pfs",))
+        request = Request(OperationType.OPEN, path="/pfs/job/file")
+        assert clf.classify(request) is PASSTHROUGH
+        generation = clf.generation
+        clf.add_rule(md_rule())
+        assert clf.generation == generation + 1
+        decision = clf.classify(Request(OperationType.OPEN, path="/pfs/job/file"))
+        assert decision.enforced and decision.rule_name == "md"
+
+    def test_remove_rule_invalidates_cached_decisions(self):
+        clf = Classifier([md_rule()], pfs_mounts=("/pfs",))
+        request = Request(OperationType.OPEN, path="/pfs/job/file")
+        assert clf.classify(request).enforced
+        clf.remove_rule("md")
+        assert clf.classify(Request(OperationType.OPEN, path="/pfs/job/file")) is PASSTHROUGH
+
+    def test_siblings_of_a_prefix_endpoint_classify_independently(self):
+        """/pfs holds the rule-prefix endpoint, so /pfs files can't share keys."""
+        clf = Classifier(pfs_mounts=("/pfs",))
+        clf.add_rule(
+            ClassifierRule(name="jobA", channel_id="ch", path_prefixes=("/pfs/jobA",))
+        )
+        assert clf.classify(Request(OperationType.OPEN, path="/pfs/jobA")).enforced
+        assert clf.classify(Request(OperationType.OPEN, path="/pfs/jobB")) is PASSTHROUGH
+        # Inside the prefix the per-directory key is shared and still exact.
+        assert clf.classify(Request(OperationType.OPEN, path="/pfs/jobA/f1")).enforced
+        assert clf.classify(Request(OperationType.OPEN, path="/pfs/jobA/f2")).enforced
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(list(OperationType)),
+                st.sampled_from(
+                    [
+                        "/pfs", "/pfs/jobA", "/pfs/jobA/x", "/pfs/jobA/x/y",
+                        "/pfs/jobB", "/pfs/jobB/z", "/pfsother", "/nfs/home/u",
+                        "/", "", "/pfs/jobA/x/../x/y",
+                    ]
+                ),
+                st.sampled_from(["job1", "job2", ""]),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_cached_decisions_match_uncached(self, requests):
+        clf = Classifier(
+            [
+                ClassifierRule(
+                    name="jobA-opens",
+                    channel_id="a",
+                    op_types=frozenset({OperationType.OPEN}),
+                    path_prefixes=("/pfs/jobA",),
+                    priority=10,
+                ),
+                md_rule(name="all-md", channel="md"),
+            ],
+            pfs_mounts=("/pfs",),
+        )
+        for op, path, job in requests:
+            request = Request(op, path=path, job_id=job)
+            cached = clf.classify(request)
+            fresh = clf._classify_uncached(request)
+            assert cached == fresh

@@ -187,3 +187,40 @@ def test_set_rate_never_mints_tokens_beyond_capacity(rate, new_rate, switch):
     tb = TokenBucket(rate=rate)
     tb.set_rate(new_rate, now=switch)
     assert tb.tokens(switch) <= tb.capacity + 1e-9
+
+
+class TestRefund:
+    def test_refund_restores_balance(self):
+        tb = TokenBucket(rate=10.0, capacity=10.0)
+        tb.consume_available(6.0, now=0.0)
+        tb.refund(2.0)
+        assert tb.tokens(0.0) == pytest.approx(6.0)
+
+    def test_refund_clamps_to_capacity(self):
+        tb = TokenBucket(rate=10.0, capacity=10.0)
+        tb.refund(5.0)
+        assert tb.tokens(0.0) == 10.0
+
+    def test_refund_on_unlimited_bucket_is_noop(self):
+        tb = TokenBucket(rate=UNLIMITED)
+        tb.refill(0.0)
+        tb.refund(3.0)
+        assert math.isinf(tb.tokens(0.0))
+
+    def test_negative_refund_rejected(self):
+        tb = TokenBucket(rate=10.0)
+        with pytest.raises(ConfigError, match="refund"):
+            tb.refund(-1.0)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    rate=rates,
+    consume=st.floats(min_value=0.0, max_value=100.0),
+    refund=st.floats(min_value=0.0, max_value=100.0),
+)
+def test_refund_never_exceeds_capacity(rate, consume, refund):
+    tb = TokenBucket(rate=rate)
+    tb.consume_available(consume, now=0.0)
+    tb.refund(refund)
+    assert 0.0 <= tb.tokens(0.0) <= tb.capacity + 1e-9

@@ -183,6 +183,21 @@ class TestRename:
         with pytest.raises(NoSuchEntry):
             ns.rename("/ghost", "/b")
 
+    def test_rename_dir_into_itself_rejected(self, ns):
+        ns.mkdir("/d")
+        with pytest.raises(NamespaceError):
+            ns.rename("/d", "/d/sub")
+        assert ns.exists("/d")
+        assert len(list(ns.walk())) == ns.inode_count
+
+    def test_rename_dir_into_own_subtree_rejected(self, ns):
+        ns.mkdir("/d")
+        ns.mkdir("/d/inner")
+        with pytest.raises(NamespaceError):
+            ns.rename("/d", "/d/inner/moved")
+        assert ns.exists("/d/inner")
+        assert len(list(ns.walk())) == ns.inode_count
+
 
 class TestLinkUnlink:
     def test_hard_link_shares_inode(self, ns):

@@ -1,0 +1,203 @@
+"""Within-instant ordering contracts of the fast-path engine.
+
+The engine schedules process boots, resumes on already-processed events,
+interrupts, and deferred ticks as bare ``(fn, arg)`` heap entries instead
+of event objects.  These tests pin the observable semantics that fast
+path must preserve: where in an instant each kind of entry fires, and
+what a process sees when the event it yields has already been processed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.engine import Environment, Interrupt
+from repro.simulation.ticker import Ticker
+
+
+class TestYieldProcessedEvent:
+    def test_resumes_same_instant_after_pending_events(self, env):
+        evt = env.event()
+        evt.succeed("payload")
+        env.run()
+        assert evt.processed
+
+        order = []
+
+        def waiter():
+            value = yield evt
+            order.append(("waiter", value, env.now))
+
+        def bystander():
+            order.append(("bystander", env.now))
+            yield env.timeout(0.0)
+
+        env.process(waiter())
+        env.process(bystander())
+        env.run()
+        # The waiter does not resume synchronously at the yield: it is
+        # rescheduled into the current instant, behind work already booked.
+        assert order == [("bystander", 0.0), ("waiter", "payload", 0.0)]
+
+    def test_processed_failed_event_throws_into_late_waiter(self, env):
+        evt = env.event()
+        caught = []
+
+        def first():
+            try:
+                yield evt
+            except ValueError as exc:
+                caught.append(("first", str(exc)))
+
+        def second():
+            yield env.timeout(1.0)
+            try:
+                yield evt  # long since processed; still delivers the error
+            except ValueError as exc:
+                caught.append(("second", str(exc), env.now))
+
+        env.process(first())
+        env.process(second())
+        evt.fail(ValueError("boom"))
+        env.run()
+        assert caught == [("first", "boom"), ("second", "boom", 1.0)]
+
+
+class TestDeferPhaseOrdering:
+    def test_ticker_phases_order_every_instant(self, env):
+        order = []
+        Ticker(env, 10.0, lambda now: order.append(("producer", now)))
+        Ticker(env, 10.0, lambda now: order.append(("drain", now)), defer=1)
+        Ticker(env, 10.0, lambda now: order.append(("control", now)), defer=2)
+        env.run(until=10.0)
+        assert order == [
+            ("producer", 0.0),
+            ("drain", 0.0),
+            ("control", 0.0),
+            ("producer", 10.0),
+            ("drain", 10.0),
+            ("control", 10.0),
+        ]
+
+    def test_event_origin_defer_runs_after_same_phase_ticker(self, env):
+        order = []
+        Ticker(env, 10.0, lambda now: order.append("drain-ticker"), defer=1)
+        Ticker(env, 10.0, lambda now: env.defer(lambda: order.append("deferred")))
+        env.run(until=10.0)
+        # A defer() issued while the instant is in progress lands behind
+        # the phase-1 ticker: ticker entries enter the heap one period
+        # earlier, so they keep the lower sequence number.
+        assert order == ["drain-ticker", "deferred", "drain-ticker", "deferred"]
+
+
+class TestInterruptRaces:
+    def test_interrupt_beats_target_that_already_triggered(self, env):
+        log = []
+        victim = None
+
+        def victim_proc():
+            evt = env.event()
+            env.process(attacker(evt))
+            try:
+                yield evt
+                log.append("resumed")
+            except Interrupt as interrupt:
+                log.append(("interrupted", interrupt.cause))
+
+        def attacker(evt):
+            evt.succeed("val")  # target triggered, not yet processed
+            victim.interrupt("late")
+            yield env.timeout(0.0)
+
+        victim = env.process(victim_proc())
+        env.run()
+        assert log == [("interrupted", "late")]
+
+    def test_interrupt_process_waiting_on_processed_event(self, env):
+        log = []
+
+        def victim(evt):
+            try:
+                yield evt  # already processed: resume is pending, not set
+                log.append("resumed")
+                yield env.timeout(10.0)
+                log.append("finished")
+            except Interrupt as interrupt:
+                log.append(("interrupted", interrupt.cause, env.now))
+
+        def driver():
+            evt = env.event()
+            evt.succeed("x")
+            yield env.timeout(1.0)  # evt is processed during this wait
+            proc = env.process(victim(evt))
+            yield env.timeout(0.0)
+            proc.interrupt("gotcha")
+
+        env.process(driver())
+        env.run()
+        assert log == [("interrupted", "gotcha", 1.0)]
+
+
+class TestConditionsWithProcessedMembers:
+    def test_allof_with_one_preprocessed_member(self, env):
+        done = env.event()
+        done.succeed(1)
+        env.run()
+        later = env.timeout(5.0, value=2)
+        got = []
+
+        def proc():
+            result = yield env.all_of([done, later])
+            got.append((env.now, result[done], result[later]))
+
+        env.process(proc())
+        env.run()
+        assert got == [(5.0, 1, 2)]
+
+    def test_allof_with_all_members_preprocessed(self, env):
+        first = env.event()
+        first.succeed("a")
+        second = env.event()
+        second.succeed("b")
+        env.run()
+        got = []
+
+        def proc():
+            result = yield env.all_of([first, second])
+            got.append((env.now, result[first], result[second]))
+
+        env.process(proc())
+        env.run()
+        assert got == [(0.0, "a", "b")]
+
+    def test_anyof_with_preprocessed_member_fires_immediately(self, env):
+        fast = env.event()
+        fast.succeed("fast")
+        env.run()
+        slow = env.timeout(100.0)
+        got = []
+
+        def proc():
+            result = yield env.any_of([fast, slow])
+            got.append((env.now, result.get(fast)))
+
+        env.process(proc())
+        env.run()
+        assert got == [(0.0, "fast")]
+
+    def test_anyof_with_preprocessed_failed_member(self, env):
+        bad = env.event()
+        bad.fail(RuntimeError("bad"))
+        bad.callbacks.append(lambda e: None)  # defuse the unwaited failure
+        env.run()
+        got = []
+
+        def proc():
+            try:
+                yield env.any_of([bad, env.timeout(5.0)])
+            except RuntimeError as exc:
+                got.append((env.now, str(exc)))
+
+        env.process(proc())
+        env.run()
+        assert got == [(0.0, "bad")]

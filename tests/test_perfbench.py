@@ -1,0 +1,78 @@
+"""Smoke tests for the perf-benchmark harness.
+
+These run every benchmark at a tiny scale -- the point is that the
+harness executes end to end, reports positive throughput, and writes a
+well-formed ``BENCH_<stamp>.json``, not that the numbers mean anything.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perfbench import (
+    PerfbenchConfig,
+    bench_classifier,
+    bench_engine,
+    bench_stage,
+    run_perfbench,
+    save_report,
+)
+
+
+class TestMicroBenches:
+    def test_engine_bench_reports_throughput(self):
+        result = bench_engine(duration=20.0)
+        assert result["value"] > 0
+        assert result["work"] > 0
+        assert result["elapsed_s"] > 0
+
+    def test_classifier_bench_reports_throughput(self):
+        result = bench_classifier(n_ops=2_000)
+        assert result["value"] > 0
+        assert result["work"] == 2_000
+
+    def test_stage_bench_reports_throughput(self):
+        result = bench_stage(n_ops=2_000)
+        assert result["value"] > 0
+        assert result["work"] == 2_000
+
+
+class TestHarness:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PerfbenchConfig(repeats=0)
+        with pytest.raises(ValueError):
+            PerfbenchConfig(scale=0.0)
+
+    def test_run_and_save_report(self, tmp_path):
+        config = PerfbenchConfig(repeats=1, scale=0.01, label="smoke")
+        report = run_perfbench(config)
+        path = save_report(report, tmp_path)
+        assert path.name == f"BENCH_{report.stamp}.json"
+        data = json.loads(path.read_text())
+        assert data["schema_version"] == 1
+        assert data["label"] == "smoke"
+        assert set(data["benchmarks"]) == {
+            "engine_events_per_sec",
+            "stage_ops_per_sec",
+            "classifier_decisions_per_sec",
+            "fig4_sim_seconds_per_sec",
+        }
+        for bench in data["benchmarks"].values():
+            assert bench["value"] > 0
+            assert len(bench["repeats"]) == 1
+        assert "perfbench" in report.summary()
+
+
+class TestCli:
+    def test_perfbench_smoke_command(self, tmp_path, capsys):
+        rc = main(["perfbench", "--smoke", "--out", str(tmp_path)])
+        assert rc == 0
+        written = list(tmp_path.glob("BENCH_*.json"))
+        assert len(written) == 1
+        out = capsys.readouterr().out
+        assert "events/s" in out
+        assert "decisions/s" in out
