@@ -6,6 +6,7 @@ Subcommands::
     padll-repro trace stats trace.csv
     padll-repro experiment fig1|fig2|fig4|fig5|overhead|harm|cost-aware
     padll-repro ablation lag|burst|loop
+    padll-repro sweep fig4|fig5|ablations|harm|overhead|all [--jobs N]
     padll-repro perfbench [--smoke] [--out DIR]
 
 Each experiment subcommand regenerates the corresponding paper artefact
@@ -76,6 +77,41 @@ def build_parser() -> argparse.ArgumentParser:
     abl.add_argument("name", choices=("lag", "burst", "loop"))
     abl.add_argument("--seed", type=int, default=0)
 
+    # -- sweep ----------------------------------------------------------------------
+    sweep = sub.add_parser(
+        "sweep",
+        help="run an experiment grid through the parallel, cached sweep runner",
+    )
+    sweep.add_argument(
+        "grid",
+        choices=("fig4", "fig5", "ablations", "harm", "overhead", "all"),
+        help="which artefact grid to run",
+    )
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (1 = serial in-process)",
+    )
+    sweep.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="neither read nor write the on-disk result cache",
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="result cache location (default: $PADLL_SWEEP_CACHE or "
+        "./.padll-sweep-cache)",
+    )
+    sweep.add_argument(
+        "--quick",
+        action="store_true",
+        help="scaled-down durations (CI smoke / local sanity runs)",
+    )
+
     # -- perfbench ------------------------------------------------------------------
     bench = sub.add_parser(
         "perfbench",
@@ -93,9 +129,15 @@ def build_parser() -> argparse.ArgumentParser:
         "from different scales stay comparable)",
     )
     bench.add_argument(
+        "--warmup",
+        type=int,
+        default=1,
+        help="untimed runs of each benchmark before the recorded repeats",
+    )
+    bench.add_argument(
         "--smoke",
         action="store_true",
-        help="CI preset: --scale 0.05 --repeats 1",
+        help="CI preset: --scale 0.05 --repeats 1 --warmup 0",
     )
     bench.add_argument(
         "--label", default="", help="free-form tag stored in the report"
@@ -229,17 +271,84 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.errors import ConfigError
+    from repro.runner import (
+        SweepRunner,
+        ablation_grid,
+        fig4_grid,
+        fig5_grid,
+        full_grid,
+        harm_grid,
+        overhead_grid,
+    )
+
+    seed = args.seed
+    if args.quick:
+        grids = {
+            "fig4": lambda: fig4_grid(
+                seed=seed, duration=120.0, step_period=60.0, drain_tail=30.0
+            ),
+            "fig5": lambda: fig5_grid(seed=seed, duration=300.0),
+            "ablations": lambda: ablation_grid(
+                seed=seed, duration=120.0, loop_duration=300.0
+            ),
+            "harm": lambda: harm_grid(seed=seed, duration=300.0),
+            "overhead": lambda: overhead_grid(seed=seed, duration=120.0),
+        }
+        grids["all"] = lambda: [cell for make in (
+            grids["fig4"], grids["fig5"], grids["ablations"],
+            grids["harm"], grids["overhead"],
+        ) for cell in make()]
+    else:
+        grids = {
+            "fig4": lambda: fig4_grid(seed=seed),
+            "fig5": lambda: fig5_grid(seed=seed),
+            "ablations": lambda: ablation_grid(seed=seed),
+            "harm": lambda: harm_grid(seed=seed),
+            "overhead": lambda: overhead_grid(seed=seed),
+            "all": lambda: full_grid(seed=seed),
+        }
+    cells = grids[args.grid]()
+    try:
+        runner = SweepRunner(
+            jobs=args.jobs,
+            cache_dir=Path(args.cache_dir) if args.cache_dir else None,
+            use_cache=not args.no_cache,
+        )
+        outcomes = runner.run(cells)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    width = max(len(o.cell.name) for o in outcomes)
+    for outcome in outcomes:
+        status = "cached" if outcome.cached else "computed"
+        print(f"{outcome.cell.name:<{width}}  {status:<8}  {outcome.elapsed_s:8.2f}s")
+    return 0
+
+
 def _cmd_perfbench(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from repro.perfbench import PerfbenchConfig, run_perfbench, save_report
 
-    scale, repeats = args.scale, args.repeats
+    scale, repeats, warmup = args.scale, args.repeats, args.warmup
     if args.smoke:
-        scale, repeats = 0.05, 1
+        scale, repeats, warmup = 0.05, 1, 0
+    out_dir = Path(args.out)
+    if out_dir.exists() and not out_dir.is_dir():
+        print(f"error: --out {args.out!r} exists and is not a directory",
+              file=sys.stderr)
+        return 2
     try:
         config = PerfbenchConfig(
-            seed=args.seed, repeats=repeats, scale=scale, label=args.label
+            seed=args.seed,
+            repeats=repeats,
+            scale=scale,
+            label=args.label,
+            warmup=warmup,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -247,7 +356,7 @@ def _cmd_perfbench(args: argparse.Namespace) -> int:
     # Resolve the git SHA against the source checkout, not the caller's
     # cwd (for an installed package this still degrades to "unknown").
     report = run_perfbench(config, repo_root=Path(__file__).resolve().parents[2])
-    path = save_report(report, Path(args.out))
+    path = save_report(report, out_dir)
     print(report.summary())
     print(f"wrote {path}")
     return 0
@@ -287,6 +396,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_trace_stats(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
         if args.command == "perfbench":
             return _cmd_perfbench(args)
         if args.command == "policy":

@@ -20,8 +20,11 @@ __all__ = [
     "Request",
     "POSIX_SURFACE",
     "MDS_OP_KINDS",
+    "MDS_KIND_BY_OP",
+    "OP_CLASS_BY_OP",
     "mds_kind",
     "op_class",
+    "batch_request",
 ]
 
 
@@ -159,6 +162,18 @@ MDS_OP_KINDS: tuple[str, ...] = (
 )
 
 
+#: op type -> MDS operation kind, as a plain dict: hot paths (delivery sinks,
+#: the PFS client) do one dict lookup instead of a property + function call.
+MDS_KIND_BY_OP: dict[OperationType, Optional[str]] = {
+    op: pair[1] for op, pair in _SURFACE.items()
+}
+
+#: op type -> operation class, same rationale as :data:`MDS_KIND_BY_OP`.
+OP_CLASS_BY_OP: dict[OperationType, OperationClass] = {
+    op: pair[0] for op, pair in _SURFACE.items()
+}
+
+
 def op_class(op: OperationType) -> OperationClass:
     """Operation class of a POSIX call."""
     return _SURFACE[op][0]
@@ -187,6 +202,10 @@ class Request:
     pid: int = 0
     tenant: str = ""
     submitted_at: float = field(default=0.0, compare=False)
+    #: MDS kind pre-resolved by the creator (None = not resolved yet).
+    #: Delivery sinks consult this before falling back to the per-op table;
+    #: batch producers that already know the kind set it to skip the lookup.
+    kind_hint: Optional[str] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.count <= 0:
@@ -196,24 +215,58 @@ class Request:
 
     @property
     def op_class(self) -> OperationClass:
-        return op_class(self.op)
+        return OP_CLASS_BY_OP[self.op]
 
     @property
     def mds_kind(self) -> Optional[str]:
-        return mds_kind(self.op)
+        return MDS_KIND_BY_OP[self.op]
 
     def split(self, first: float) -> tuple["Request", "Request"]:
         """Split a batch into (granted, remainder) sub-batches."""
         if not 0 < first < self.count:
             raise ValueError(f"cannot split count={self.count} at {first}")
-        head = Request(
-            op=self.op, path=self.path, job_id=self.job_id, count=first,
+        head = batch_request(
+            self.op, self.path, self.job_id, first,
             size=self.size, pid=self.pid, tenant=self.tenant,
-            submitted_at=self.submitted_at,
+            submitted_at=self.submitted_at, kind_hint=self.kind_hint,
         )
-        tail = Request(
-            op=self.op, path=self.path, job_id=self.job_id,
-            count=self.count - first, size=self.size, pid=self.pid,
-            tenant=self.tenant, submitted_at=self.submitted_at,
+        tail = batch_request(
+            self.op, self.path, self.job_id, self.count - first,
+            size=self.size, pid=self.pid, tenant=self.tenant,
+            submitted_at=self.submitted_at, kind_hint=self.kind_hint,
         )
         return head, tail
+
+
+_new_request = Request.__new__
+
+
+def batch_request(
+    op: OperationType,
+    path: str,
+    job_id: str,
+    count: float,
+    size: int = 0,
+    pid: int = 0,
+    tenant: str = "",
+    submitted_at: float = 0.0,
+    kind_hint: Optional[str] = None,
+) -> Request:
+    """Allocate a :class:`Request` without dataclass-init overhead.
+
+    The fluid experiment path creates one record per (tick, kind, slice) --
+    millions per run -- so the ``__init__``/``__post_init__`` validation
+    cost is first-order there.  Callers guarantee ``count > 0`` and
+    ``size >= 0`` (batch sizes are derived from validated traces).
+    """
+    request = _new_request(Request)
+    request.op = op
+    request.path = path
+    request.job_id = job_id
+    request.count = count
+    request.size = size
+    request.pid = pid
+    request.tenant = tenant
+    request.submitted_at = submitted_at
+    request.kind_hint = kind_hint
+    return request

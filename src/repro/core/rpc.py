@@ -106,10 +106,11 @@ class StageEndpoint:
         self.stage = stage
 
     def handle(self, message: RpcMessage) -> Any:
-        if isinstance(message, Ping):
-            return message.payload
+        # CollectStats first: it is the once-per-loop-tick hot message.
         if isinstance(message, CollectStats):
             return self.stage.collect(message.now)
+        if isinstance(message, Ping):
+            return message.payload
         if isinstance(message, EnforceRate):
             self.stage.set_channel_rate(
                 message.channel_id, message.rate, message.now, message.burst

@@ -107,9 +107,11 @@ def _build_world(
     seed: int,
     limits: Optional[Tuple[float, ...]],
     step_period: float,
+    trace=None,
 ) -> ReplayWorld:
     world = ReplayWorld(setup, sample_period=5.0)
-    trace = generate_mdt_trace(seed=seed)
+    if trace is None:
+        trace = generate_mdt_trace(seed=seed)
     single = target != "metadata"
     spec = JobSpec(
         job_id="job1",
@@ -145,14 +147,21 @@ def run_fig4_metadata(
             f"target must be one of {METADATA_TARGETS}, got {target!r}"
         )
     total = duration + drain_tail
-    baseline = _build_world(Setup.BASELINE, target, seed, None, step_period).run(total)
+    # The three setups replay the identical fixed-seed trace; generate it
+    # once and share it (replayers never mutate the trace they read).
+    trace = generate_mdt_trace(seed=seed)
+    baseline = _build_world(
+        Setup.BASELINE, target, seed, None, step_period, trace=trace
+    ).run(total)
     base_times, base_rates = baseline.job_rate_series("job1")
     n_steps = max(1, int(np.ceil(duration / step_period)))
     limits = derive_step_limits(base_rates[base_times < duration], n_steps)
     passthrough = _build_world(
-        Setup.PASSTHROUGH, target, seed, None, step_period
+        Setup.PASSTHROUGH, target, seed, None, step_period, trace=trace
     ).run(total)
-    padll = _build_world(Setup.PADLL, target, seed, limits, step_period).run(total)
+    padll = _build_world(
+        Setup.PADLL, target, seed, limits, step_period, trace=trace
+    ).run(total)
     series = {
         "baseline": baseline.job_rate_series("job1"),
         "passthrough": passthrough.job_rate_series("job1"),

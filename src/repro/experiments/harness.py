@@ -31,11 +31,17 @@ from repro.core.algorithms import AllocationAlgorithm
 from repro.core.controller import ControlPlane, ControlPlaneConfig
 from repro.core.differentiation import ClassifierRule
 from repro.core.policies import PolicyRule
-from repro.core.requests import OperationClass, Request
+from repro.core.requests import (
+    MDS_KIND_BY_OP,
+    OperationClass,
+    Request,
+    batch_request,
+)
 from repro.core.stage import DataPlaneStage, StageConfig, StageIdentity
 from repro.core.token_bucket import UNLIMITED
 from repro.monitoring.collector import Collector, Probe
 from repro.pfs.cluster import ClusterConfig, LustreCluster
+from repro.pfs.costs import OP_COSTS
 from repro.pfs.mds import MDSConfig
 from repro.simulation.engine import Environment
 from repro.simulation.ticker import Ticker
@@ -46,6 +52,10 @@ __all__ = ["Setup", "JobSpec", "JobResult", "WorldResult", "ReplayWorld"]
 
 #: Mount point every simulated job reads/writes under.
 PFS_MOUNT = "/pfs"
+
+#: Plain-dict cost table for the fused delivery loops (one lookup per
+#: (tick, kind) instead of a MappingProxyType hit per slice).
+_COSTS: Dict[str, float] = dict(OP_COSTS)
 
 
 class Setup(enum.Enum):
@@ -92,11 +102,27 @@ class _JobRuntime:
     spec: JobSpec
     driver: Optional[ReplayDriver] = None
     stages: List[DataPlaneStage] = field(default_factory=list)
-    #: ops delivered to the FS since the last collector sample, per kind.
-    window: Dict[str, float] = field(default_factory=dict)
+    # Ops delivered to the FS since the last collector sample, per kind,
+    # as a preallocated buffer keyed by interned kind index.  The touch
+    # list preserves first-delivery order within the sample window so the
+    # probe's sum runs over the same float sequence a per-window dict
+    # would have produced (first-touch order differs from interning order
+    # whenever a backlog carries one kind's queue across a window edge).
+    window_index: Dict[str, int] = field(default_factory=dict)
+    window_kinds: List[str] = field(default_factory=list)
+    window_buf: List[float] = field(default_factory=list)
+    window_touched: List[int] = field(default_factory=list)
     delivered_total: float = 0.0
     completed_at: Optional[float] = None
     started: bool = False
+
+    def window_slot(self, kind: str) -> int:
+        """Intern ``kind`` into the delivery window buffer."""
+        index = len(self.window_buf)
+        self.window_index[kind] = index
+        self.window_kinds.append(kind)
+        self.window_buf.append(0.0)
+        return index
 
     def backlog(self) -> float:
         return sum(stage.backlog() for stage in self.stages)
@@ -224,17 +250,280 @@ class ReplayWorld:
     # -- job wiring -----------------------------------------------------------------
     def _deliver(self, runtime: _JobRuntime, request: Request) -> None:
         """Sink between the job's last component and the FS client."""
-        kind = request.mds_kind or "local"
-        runtime.window[kind] = runtime.window.get(kind, 0.0) + request.count
-        runtime.delivered_total += request.count
-        self._client.submit(request)
+        kind = request.kind_hint
+        if kind is None:
+            kind = MDS_KIND_BY_OP[request.op]
+        count = request.count
+        slot = runtime.window_index.get(kind if kind is not None else "local")
+        if slot is None:
+            slot = runtime.window_slot(kind if kind is not None else "local")
+        accumulated = runtime.window_buf[slot]
+        if accumulated == 0.0:
+            runtime.window_touched.append(slot)
+        runtime.window_buf[slot] = accumulated + count
+        runtime.delivered_total += count
+        self._client.submit_kind(request, kind)
+
+    def _deliver_rows(
+        self,
+        runtime: _JobRuntime,
+        slices: Sequence[Tuple[str, object, str, float]],
+        interleave: int,
+    ) -> None:
+        """Fused BASELINE sink: one call delivers a whole replay tick.
+
+        Performs exactly the per-slice arithmetic of ``interleave`` rounds
+        of :meth:`_deliver` + ``PFSClient.submit_kind`` + ``MDS.offer`` --
+        same accumulators, same float operations, same order -- but with
+        routing, cost, and window-slot lookups resolved once per (tick,
+        kind) instead of once per slice.
+        """
+        client = self._client
+        now = client._clock()
+        cluster = self.cluster
+        hot_standby = cluster.config.mds_mode == "hot-standby"
+        shared_mds = cluster.active_mds(now) if hot_standby else None
+        window_index = runtime.window_index
+        window_buf = runtime.window_buf
+        window_touched = runtime.window_touched
+        touch = window_touched.append
+        # Row layout: (window slot, count, route, kind, cost, mds, mds_slot).
+        # Routes: 0 = MDS queue, 1 = OSS, 2 = client-local, 3 = MDS down.
+        rows = []
+        for _kind, op, path, count in slices:
+            if count <= 0:
+                continue
+            kind = MDS_KIND_BY_OP[op]
+            window_key = kind if kind is not None else "local"
+            slot = window_index.get(window_key)
+            if slot is None:
+                slot = runtime.window_slot(window_key)
+            if kind is None:
+                rows.append((slot, count, 2, kind, 0.0, None, None))
+            elif kind == "read" or kind == "write":
+                rows.append((slot, count, 1, kind, 0.0, None, None))
+            else:
+                mds = shared_mds if hot_standby else cluster.mds_for_path(path, now)
+                if mds is None or mds.failed:
+                    rows.append((slot, count, 3, kind, 0.0, None, None))
+                else:
+                    mds_slot = mds._window_index.get(kind)
+                    if mds_slot is None:
+                        mds_slot = mds._window_slot(kind)
+                    rows.append((slot, count, 0, kind, _COSTS[kind], mds, mds_slot))
+        delivered_total = runtime.delivered_total
+        submitted_ops = client.submitted_ops
+        failed_ops = client.failed_ops
+        oss_offer = cluster.oss_pool.offer
+        buffer_replay = cluster.buffer_for_replay
+        if len(rows) == 1 and rows[0][2] == 0:
+            # Single-kind MDS tick (the per-op fig4 panels): unpack the row
+            # once and run the interleave adds in a tight loop.  cost*count
+            # is the same product every round, so hoisting it reproduces
+            # the per-round accumulation bit-for-bit.
+            slot, count, _route, _kind, cost, mds, mds_slot = rows[0]
+            queue_append = mds._queue.append
+            queued_units = mds._queued_units
+            units = cost * count
+            for _ in range(interleave):
+                accumulated = window_buf[slot]
+                if accumulated == 0.0:
+                    touch(slot)
+                window_buf[slot] = accumulated + count
+                delivered_total += count
+                submitted_ops += count
+                queue_append([mds_slot, count, cost, now])
+                queued_units += units
+            mds._queued_units = queued_units
+            runtime.delivered_total = delivered_total
+            client.submitted_ops = submitted_ops
+            return
+        for _ in range(interleave):
+            for slot, count, route, kind, cost, mds, mds_slot in rows:
+                accumulated = window_buf[slot]
+                if accumulated == 0.0:
+                    touch(slot)
+                window_buf[slot] = accumulated + count
+                delivered_total += count
+                submitted_ops += count
+                if route == 0:
+                    # MDS queue entries are [slot, count, cost, arrived]
+                    # lists (see repro.pfs.mds); appending one here is the
+                    # fused equivalent of MetadataServer.offer().
+                    mds._queue.append([mds_slot, count, cost, now])
+                    mds._queued_units += cost * count
+                elif route == 1:
+                    # Replay batches carry size=0, so bytes == max(0,1)*count.
+                    oss_offer(kind, count, now)
+                elif route == 3:
+                    failed_ops += count
+                    buffer_replay(kind, count)
+        runtime.delivered_total = delivered_total
+        client.submitted_ops = submitted_ops
+        client.failed_ops = failed_ops
+
+    def _submit_stage_rows(
+        self,
+        runtime: _JobRuntime,
+        stage: DataPlaneStage,
+        slices: Sequence[Tuple[str, object, str, float]],
+        interleave: int,
+    ) -> None:
+        """Fused single-stage submit: classify once per (tick, kind), then
+        enqueue one shared Request record per round-robin slice.
+
+        A channel never mutates a queued record in place (batch splits
+        replace the queue head), so enqueuing the same record ``interleave``
+        times is safe; per-entry backlog/stat adds keep every accumulator's
+        float sequence identical to the per-slice ``stage.submit`` path.
+        """
+        now = self.env.now
+        classify = stage.classifier.classify
+        channels = stage._channels
+        job_id = stage.identity.job_id
+        rows = []
+        for kind, op, path, count in slices:
+            if count <= 0:
+                continue
+            request = batch_request(
+                op, path, job_id, count, submitted_at=now, kind_hint=MDS_KIND_BY_OP[op]
+            )
+            decision = classify(request)
+            if decision.enforced:
+                channel = channels[decision.channel_id]
+                rows.append((channel._queue.append, channel, channel.stats, request, count))
+            else:
+                rows.append((None, None, None, request, count))
+        # When every row is enforced and targets a distinct channel, all
+        # accumulators are per-row disjoint, so running the interleave adds
+        # row-by-row (stats hoisted to locals) replays the exact per-round
+        # float sequences of the interleave-outer loop.
+        fuse = True
+        seen_channels = set()
+        for enqueue, channel, _stats, _request, _count in rows:
+            if enqueue is None or id(channel) in seen_channels:
+                fuse = False
+                break
+            seen_channels.add(id(channel))
+        if fuse:
+            for enqueue, channel, stats, request, count in rows:
+                backlog = channel._backlog
+                enqueued_ops = stats.enqueued_ops
+                window_enqueued = stats.window_enqueued
+                for _ in range(interleave):
+                    enqueue(request)
+                    backlog += count
+                    enqueued_ops += count
+                    window_enqueued += count
+                channel._backlog = backlog
+                stats.enqueued_ops = enqueued_ops
+                stats.window_enqueued = window_enqueued
+            return
+        for _ in range(interleave):
+            for enqueue, channel, stats, request, count in rows:
+                if enqueue is not None:
+                    enqueue(request)
+                    channel._backlog += count
+                    stats.enqueued_ops += count
+                    stats.window_enqueued += count
+                else:
+                    stage._passthrough_window += count
+                    stage._passthrough_total += count
+                    self._deliver(runtime, request)
+
+    def _deliver_granted(self, runtime: _JobRuntime, grants: List[Request]) -> None:
+        """Fused drain-side delivery: sink a stage's granted records.
+
+        Equivalent to calling :meth:`_deliver` per record in list order,
+        with clock/routing resolved once per call.
+        """
+        client = self._client
+        now = client._clock()
+        cluster = self.cluster
+        hot_standby = cluster.config.mds_mode == "hot-standby"
+        shared_mds = cluster.active_mds(now) if hot_standby else None
+        window_index = runtime.window_index
+        window_buf = runtime.window_buf
+        touch = runtime.window_touched.append
+        kind_by_op = MDS_KIND_BY_OP
+        costs = _COSTS
+        delivered_total = runtime.delivered_total
+        submitted_ops = client.submitted_ops
+        failed_ops = client.failed_ops
+        oss_offer = cluster.oss_pool.offer
+        buffer_replay = cluster.buffer_for_replay
+        # The submit path enqueues ONE shared record per (tick, kind),
+        # ``interleave`` times, so grants repeat the same object in runs.
+        # Routing is stable within a drain tick (``now`` is fixed,
+        # active_mds is idempotent per tick, and an MDS cannot fail while
+        # draining), so resolution is cached across the repeats; the adds
+        # below still execute once per grant, in grant order.
+        last = None
+        kind = None
+        count = 0.0
+        slot = 0
+        route = 2  # 0 = MDS, 1 = OSS, 2 = local, 3 = MDS down
+        mds = None
+        cost = 0.0
+        mds_slot = 0
+        nbytes = 0.0
+        for request in grants:
+            if request is not last:
+                last = request
+                kind = request.kind_hint
+                if kind is None:
+                    kind = kind_by_op[request.op]
+                count = request.count
+                window_key = kind if kind is not None else "local"
+                slot = window_index.get(window_key)
+                if slot is None:
+                    slot = runtime.window_slot(window_key)
+                if kind is None:
+                    route = 2
+                elif kind == "read" or kind == "write":
+                    route = 1
+                    size = request.size
+                    nbytes = (size if size > 1 else 1) * count
+                else:
+                    mds = (
+                        shared_mds
+                        if hot_standby
+                        else cluster.mds_for_path(request.path, now)
+                    )
+                    if mds is None or mds.failed:
+                        route = 3
+                    else:
+                        route = 0
+                        cost = costs[kind]
+                        mds_slot = mds._window_index.get(kind)
+                        if mds_slot is None:
+                            mds_slot = mds._window_slot(kind)
+            accumulated = window_buf[slot]
+            if accumulated == 0.0:
+                touch(slot)
+            window_buf[slot] = accumulated + count
+            delivered_total += count
+            submitted_ops += count
+            if route == 0:
+                mds._queue.append([mds_slot, count, cost, now])
+                mds._queued_units += cost * count
+            elif route == 1:
+                oss_offer(kind, nbytes, now)
+            elif route == 3:
+                failed_ops += count
+                buffer_replay(kind, count)
+        runtime.delivered_total = delivered_total
+        client.submitted_ops = submitted_ops
+        client.failed_ops = failed_ops
 
     def _start_job(self, runtime: _JobRuntime) -> None:
         spec = runtime.spec
         runtime.started = True
         submit = None
+        batch_submit = None
         if spec.setup is Setup.BASELINE:
             submit = lambda req: self._deliver(runtime, req)  # noqa: E731
+            batch_submit = lambda rows, il: self._deliver_rows(runtime, rows, il)  # noqa: E731
         else:
             unlimited = spec.setup is Setup.PASSTHROUGH
             for i in range(spec.n_stages):
@@ -256,15 +545,17 @@ class ReplayWorld:
             if spec.n_stages == 1:
                 only = runtime.stages[0]
                 submit = lambda req: only.submit(req, self.env.now)  # noqa: E731
+                batch_submit = (  # noqa: E731
+                    lambda rows, il, st=only: self._submit_stage_rows(runtime, st, rows, il)
+                )
             else:
                 # Split each batch evenly over the job's stages (one
                 # application instance per node submitting its share).
                 def submit(req, rt=runtime):  # noqa: E731
                     share = req.count / len(rt.stages)
                     for stage in rt.stages:
-                        part = Request(
-                            op=req.op, path=req.path, job_id=req.job_id,
-                            count=share, size=req.size,
+                        part = batch_request(
+                            req.op, req.path, req.job_id, share, size=req.size
                         )
                         stage.submit(part, self.env.now)
 
@@ -283,7 +574,16 @@ class ReplayWorld:
             mount=PFS_MOUNT,
             dt=self.dt,
             start=self.env.now,
+            batch_submit=batch_submit,
         )
+        # Preallocate the delivery-window slots for every kind this job
+        # will replay (the fused sinks then never take the interning path).
+        from repro.workloads.replayer import KIND_TO_OP
+
+        for kind in replayer.kinds:
+            window_key = MDS_KIND_BY_OP[KIND_TO_OP[kind]] or "local"
+            if window_key not in runtime.window_index:
+                runtime.window_slot(window_key)
 
     def _build_channels(self, stage: DataPlaneStage, spec: JobSpec, unlimited: bool) -> None:
         now = self.env.now
@@ -324,9 +624,16 @@ class ReplayWorld:
 
     # -- per-tick housekeeping ----------------------------------------------------
     def _drain_tick(self, now: float) -> None:
+        grants: List[Request] = []
         for runtime in self._jobs.values():
             for stage in runtime.stages:
-                stage.drain(now)
+                # Collect grants, then deliver them in order: channel state
+                # never depends on the sink, so the flush is equivalent to
+                # per-grant sinking (and skips one call chain per grant).
+                stage.drain_collect(now, grants)
+                if grants:
+                    self._deliver_granted(runtime, grants)
+                    del grants[:]
         self.cluster.service(now, self.dt)
         self._check_completions(now)
 
@@ -371,7 +678,12 @@ class ReplayWorld:
         for job_id, runtime in self._jobs.items():
             self.collector.add_probe(self._job_probe(job_id, runtime))
         self.env.run(until=duration)
+        # Stop every periodic driver, not just the control loop: a caller
+        # that keeps stepping the environment (or reuses it) must not see
+        # ghost drain/collector ticks from a finished world.
         control_ticker.stop()
+        self._drain_ticker.stop()
+        self.collector.stop()
         series = {
             name: (ts.times().copy(), ts.values().copy())
             for name, ts in self.collector.series.items()
@@ -398,11 +710,19 @@ class ReplayWorld:
 
     def _job_probe(self, job_id: str, runtime: _JobRuntime) -> Probe:
         def sample(now: float, period: float) -> Dict[str, float]:
-            window = runtime.window
-            runtime.window = {}
-            out = {"": sum(window.values()) / period}
-            for kind, count in window.items():
-                out[kind] = count / period
+            buf = runtime.window_buf
+            kinds = runtime.window_kinds
+            touched = runtime.window_touched
+            # Same accumulation a dict-backed window produced: int 0 start,
+            # then the per-kind totals added in first-delivery order.
+            total = 0
+            for slot in touched:
+                total = total + buf[slot]
+            out = {"": total / period}
+            for slot in touched:
+                out[kinds[slot]] = buf[slot] / period
+                buf[slot] = 0.0
+            touched.clear()
             out["backlog"] = runtime.backlog()
             return out
 

@@ -50,6 +50,9 @@ class Collector:
         self.period = float(period)
         self._probes: Dict[str, Probe] = {}
         self.series: Dict[str, TimeSeries] = {}
+        #: probe name -> suffix -> series, resolved once instead of a
+        #: formatted-key dict lookup on every sample.
+        self._probe_series: Dict[str, Dict[str, TimeSeries]] = {}
         self._ticker = Ticker(
             env, period, self._tick, start=start, name="collector", defer=defer
         )
@@ -63,6 +66,7 @@ class Collector:
         if name not in self._probes:
             raise ConfigError(f"no probe named {name!r}")
         del self._probes[name]
+        self._probe_series.pop(name, None)
 
     def stop(self) -> None:
         self._ticker.stop()
@@ -75,10 +79,17 @@ class Collector:
         return series
 
     def _tick(self, now: float) -> None:
-        for probe in self._probes.values():
-            for suffix, value in probe.sample(now, self.period).items():
-                key = f"{probe.name}.{suffix}" if suffix else probe.name
-                self._series(key).append(now, value)
+        for name, probe in self._probes.items():
+            cache = self._probe_series.get(name)
+            if cache is None:
+                cache = self._probe_series[name] = {}
+            sample = probe.sample(now, self.period)
+            for suffix, value in sample.items():
+                series = cache.get(suffix)
+                if series is None:
+                    key = f"{name}.{suffix}" if suffix else name
+                    series = cache[suffix] = self._series(key)
+                series.append(now, value)
 
     # -- ready-made probes ----------------------------------------------------------
     @staticmethod

@@ -21,6 +21,7 @@ from typing import Any, Callable, Dict, Mapping, Optional
 from repro import __version__
 from repro.perfbench.endtoend import bench_fig4
 from repro.perfbench.micro import bench_classifier, bench_engine, bench_stage
+from repro.perfbench.sweepbench import bench_sweep
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -47,12 +48,24 @@ class PerfbenchConfig:
     repeats: int = 3
     scale: float = 1.0
     label: str = ""
+    #: Untimed runs of every benchmark before the recorded repeats.  One
+    #: warmup absorbs first-run effects (imports, allocator growth, cold
+    #: caches) that otherwise pollute the first recorded repeat.
+    warmup: int = 1
 
     def __post_init__(self) -> None:
         if self.repeats < 1:
             raise ValueError(f"repeats must be >= 1, got {self.repeats}")
         if self.scale <= 0:
             raise ValueError(f"scale must be positive, got {self.scale}")
+        if self.warmup < 0:
+            raise ValueError(f"warmup must be >= 0, got {self.warmup}")
+        if "\n" in self.label or "\r" in self.label:
+            raise ValueError("label must be a single line")
+        if len(self.label) > 120:
+            raise ValueError(
+                f"label must be <= 120 characters, got {len(self.label)}"
+            )
 
 
 @dataclass(frozen=True, slots=True)
@@ -94,6 +107,7 @@ class PerfbenchReport:
             "label": self.config.label,
             "seed": self.config.seed,
             "repeats": self.config.repeats,
+            "warmup": self.config.warmup,
             "scale": self.config.scale,
             "machine": dict(self.machine),
             "wall_time_s": self.wall_time_s,
@@ -135,9 +149,15 @@ def _machine_info() -> Dict[str, Any]:
 
 
 def _best_of(
-    fn: Callable[[], Dict[str, float]], repeats: int
+    fn: Callable[[], Dict[str, float]], repeats: int, warmup: int = 0
 ) -> tuple[float, tuple[float, ...], Dict[str, float]]:
-    """Run ``fn`` ``repeats`` times; keep the best (highest) value's detail."""
+    """Run ``fn`` ``repeats`` times; keep the best (highest) value's detail.
+
+    ``warmup`` extra runs execute first and are discarded -- they appear
+    neither in the best value nor in the recorded repeats.
+    """
+    for _ in range(warmup):
+        fn()
     values: list[float] = []
     best_detail: Dict[str, float] = {}
     for _ in range(repeats):
@@ -154,7 +174,7 @@ def run_perfbench(
     config: Optional[PerfbenchConfig] = None,
     repo_root: Optional[Path] = None,
 ) -> PerfbenchReport:
-    """Run all four benchmarks and return the stamped report."""
+    """Run all five benchmarks and return the stamped report."""
     config = config or PerfbenchConfig()
     scale = config.scale
     started = time.time()
@@ -182,11 +202,15 @@ def run_perfbench(
                 drain_tail=max(30.0, 120.0 * scale),
             ),
         ),
+        "sweep_cells_per_sec": (
+            "cells/s",
+            lambda: bench_sweep(seed=config.seed, scale=scale),
+        ),
     }
 
     benchmarks: Dict[str, BenchmarkResult] = {}
     for name, (unit, fn) in specs.items():
-        value, repeats, detail = _best_of(fn, config.repeats)
+        value, repeats, detail = _best_of(fn, config.repeats, config.warmup)
         benchmarks[name] = BenchmarkResult(
             name=name, unit=unit, value=value, repeats=repeats, detail=detail
         )

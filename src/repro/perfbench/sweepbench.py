@@ -1,0 +1,47 @@
+"""Sweep-runner benchmark: grid cells executed per wall second.
+
+Runs a small mixed grid (three different experiments) through
+:class:`~repro.runner.sweep.SweepRunner` with the cache disabled, so the
+metric tracks the runner's real dispatch + execution throughput.  The
+work unit is one grid cell, making ``value`` comparable across scales
+the same way the other perfbench metrics are.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+from repro.runner import Cell, SweepRunner
+
+__all__ = ["bench_sweep"]
+
+
+def bench_sweep(seed: int = 0, scale: float = 1.0) -> Dict[str, float]:
+    """Run the benchmark grid serially, uncached; returns cells/second."""
+    duration = max(30.0, 120.0 * scale)
+    cells = [
+        Cell("harm", {"protected": True, "duration": duration}, seed=seed),
+        Cell(
+            "fig4-metadata",
+            {
+                "target": "open",
+                "duration": duration,
+                "step_period": duration / 2.0,
+                "drain_tail": duration / 4.0,
+            },
+            seed=seed,
+        ),
+        Cell("fig5", {"setup_name": "static", "duration": duration}, seed=seed),
+    ]
+    runner = SweepRunner(jobs=1, use_cache=False, log=lambda _line: None)
+    start = time.perf_counter()
+    outcomes = runner.run(cells)
+    elapsed = time.perf_counter() - start
+    assert len(outcomes) == len(cells)
+    return {
+        "value": len(cells) / elapsed,
+        "work": float(len(cells)),
+        "elapsed_s": elapsed,
+        "cell_duration_s": duration,
+    }

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.errors import ConfigError, MDSUnavailable
-from repro.core.requests import Request
+from repro.core.requests import MDS_KIND_BY_OP, Request
 
 __all__ = ["PFSClient"]
 
@@ -34,23 +34,32 @@ class PFSClient:
 
     def submit(self, request: Request) -> None:
         """Deliver one request (or batch) to the file system."""
+        self.submit_kind(request, MDS_KIND_BY_OP[request.op])
+
+    def submit_kind(self, request: Request, kind: Optional[str]) -> None:
+        """Deliver ``request`` whose MDS kind the caller already resolved.
+
+        Hot-path variant of :meth:`submit`: delivery sinks look the kind up
+        once per request for their own window accounting and pass it along
+        instead of re-deriving it here.
+        """
         now = self._clock()
-        kind = request.mds_kind
-        self.submitted_ops += request.count
+        count = request.count
+        self.submitted_ops += count
         if kind is None:
             # Client-local call (e.g. lseek): nothing leaves the node.
             return
-        if kind in ("read", "write"):
-            nbytes = max(request.size, 1) * request.count
+        if kind == "read" or kind == "write":
+            nbytes = max(request.size, 1) * count
             self.cluster.oss_pool.offer(kind, nbytes, now)
             return
         mds = self.cluster.mds_for_path(request.path, now)
         if mds is None:
-            self.failed_ops += request.count
-            self.cluster.buffer_for_replay(kind, request.count)
+            self.failed_ops += count
+            self.cluster.buffer_for_replay(kind, count)
             return
         try:
-            mds.offer(kind, request.count, now)
+            mds.offer(kind, count, now)
         except MDSUnavailable:
-            self.failed_ops += request.count
-            self.cluster.buffer_for_replay(kind, request.count)
+            self.failed_ops += count
+            self.cluster.buffer_for_replay(kind, count)

@@ -25,11 +25,15 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, Optional, Tuple
 
 from repro.errors import ConfigError, MDSUnavailable
-from repro.pfs.costs import op_cost
+from repro.pfs.costs import OP_COSTS, op_cost
 from repro.pfs.locks import LockMode, LockTable
 from repro.pfs.namespace import Namespace
 
 __all__ = ["MDSConfig", "MetadataServer"]
+
+#: Plain-dict copy of the cost table: the fluid path resolves a cost per
+#: offered batch, and a MappingProxyType lookup is measurably slower.
+_OP_COSTS: Dict[str, float] = dict(OP_COSTS)
 
 
 @dataclass(slots=True)
@@ -68,12 +72,13 @@ class MDSConfig:
             raise ConfigError(f"fail_after must be positive, got {self.fail_after}")
 
 
-@dataclass(slots=True)
-class _Batch:
-    kind: str
-    count: float
-    cost_per_op: float
-    arrived: float
+# One offered batch awaiting service is a plain 4-slot list
+# ``[slot, count, cost_per_op, arrived]``: the fluid path allocates and
+# consumes one per (tick, kind, slice), so a list literal plus indexed
+# reads beat any class (slots included) on both construction and access.
+# ``slot`` is the kind's interned window/served index (see _window_slot),
+# resolved at offer time so the service loop runs without dict lookups.
+_B_SLOT, _B_COUNT, _B_COST, _B_ARRIVED = 0, 1, 2, 3
 
 
 class MetadataServer:
@@ -89,15 +94,24 @@ class MetadataServer:
         self.config = config or MDSConfig()
         self.namespace = namespace if namespace is not None else Namespace()
         self.locks = LockTable()
-        self._queue: Deque[_Batch] = deque()
+        self._queue: Deque[list] = deque()
         self._queued_units = 0.0
         self._degraded_since: Optional[float] = None
         self.failed = False
         self.failed_at: Optional[float] = None
-        #: Served operation counts per kind (cumulative).
-        self.served: Dict[str, float] = {}
-        #: Served counts per kind since the last take_window() call.
-        self._window: Dict[str, float] = {}
+        # Cumulative served counts per interned kind; the public ``served``
+        # mapping is rebuilt from this buffer on access.
+        self._served_buf: list[float] = []
+        # Served counts per kind since the last take_window() call, kept as
+        # a preallocated buffer keyed by interned kind index.  The touch
+        # list records first-touch order so take_window() can rebuild the
+        # window in exactly the order a plain dict would have inserted
+        # kinds (monitoring sums stay bit-identical under backlog, where
+        # the first kind served in a window is not the first interned).
+        self._window_index: Dict[str, int] = {}
+        self._window_kinds: list[str] = []
+        self._window_buf: list[float] = []
+        self._window_touched: list[int] = []
         #: Sum of (completion latency * ops) for mean-latency reporting.
         self._latency_ops = 0.0
         self._latency_sum = 0.0
@@ -121,6 +135,15 @@ class MetadataServer:
     def available(self) -> bool:
         return not self.failed
 
+    @property
+    def served(self) -> Dict[str, float]:
+        """Served operation counts per kind (cumulative)."""
+        return {
+            kind: count
+            for kind, count in zip(self._window_kinds, self._served_buf)
+            if count != 0.0
+        }
+
     def mean_latency(self) -> float:
         """Mean completion latency over everything served so far."""
         if self._latency_ops == 0:
@@ -129,9 +152,23 @@ class MetadataServer:
 
     def take_window(self) -> Dict[str, float]:
         """Return and reset the per-kind served counts (monitoring hook)."""
-        window = self._window
-        self._window = {}
+        buf = self._window_buf
+        kinds = self._window_kinds
+        window = {}
+        for i in self._window_touched:
+            window[kinds[i]] = buf[i]
+            buf[i] = 0.0
+        self._window_touched.clear()
         return window
+
+    def _window_slot(self, kind: str) -> int:
+        """Intern ``kind`` into the window buffer; returns its index."""
+        index = len(self._window_buf)
+        self._window_index[kind] = index
+        self._window_kinds.append(kind)
+        self._window_buf.append(0.0)
+        self._served_buf.append(0.0)
+        return index
 
     # -- fluid path -------------------------------------------------------------
     def offer(self, kind: str, count: float, now: float) -> None:
@@ -140,12 +177,17 @@ class MetadataServer:
             raise MDSUnavailable(f"{self.name} has failed")
         if count <= 0:
             return
-        cost = op_cost(kind)
+        cost = _OP_COSTS.get(kind)
+        if cost is None:
+            cost = op_cost(kind)  # raises the canonical ConfigError
         if cost == 0.0:
             # Data kinds don't touch the MDS; serving them is free here.
             self._record(kind, count, latency=0.0)
             return
-        self._queue.append(_Batch(kind=kind, count=count, cost_per_op=cost, arrived=now))
+        slot = self._window_index.get(kind)
+        if slot is None:
+            slot = self._window_slot(kind)
+        self._queue.append([slot, count, cost, now])
         self._queued_units += cost * count
 
     def service(self, now: float, dt: float) -> float:
@@ -168,24 +210,49 @@ class MetadataServer:
             rate *= self.config.degrade_factor
         budget = rate * dt
         served_ops = 0.0
-        while budget > 1e-12 and self._queue:
-            head = self._queue[0]
-            head_units = head.cost_per_op * head.count
+        # The drain loop pops one batch per (tick, kind, slice) submitted
+        # upstream -- the single hottest loop of every fluid experiment --
+        # so per-batch accounting runs on locals with `_record` inlined
+        # (same adds in the same order; written back once below).
+        queue = self._queue
+        popleft = queue.popleft
+        queued_units = self._queued_units
+        served_buf = self._served_buf
+        window_buf = self._window_buf
+        window_touched = self._window_touched
+        latency_ops = self._latency_ops
+        latency_sum = self._latency_sum
+        while budget > 1e-12 and queue:
+            head = queue[0]
+            count = head[1]
+            cost_per_op = head[2]
+            head_units = cost_per_op * count
             if head_units <= budget:
-                self._queue.popleft()
+                popleft()
                 budget -= head_units
-                self._queued_units -= head_units
-                self._record(head.kind, head.count, latency=max(0.0, now - head.arrived))
-                served_ops += head.count
+                queued_units -= head_units
             else:
-                take_ops = budget / head.cost_per_op
-                head.count -= take_ops
-                self._queued_units -= budget
-                self._record(head.kind, take_ops, latency=max(0.0, now - head.arrived))
-                served_ops += take_ops
+                count = budget / cost_per_op
+                head[1] -= count
+                queued_units -= budget
                 budget = 0.0
+            slot = head[0]
+            latency = now - head[3]
+            if latency < 0.0:
+                latency = 0.0
+            served_buf[slot] += count
+            accumulated = window_buf[slot]
+            if accumulated == 0.0:
+                window_touched.append(slot)
+            window_buf[slot] = accumulated + count
+            latency_ops += count
+            latency_sum += latency * count
+            served_ops += count
+        self._queued_units = queued_units
+        self._latency_ops = latency_ops
+        self._latency_sum = latency_sum
         # Clamp accumulated float error.
-        if not self._queue:
+        if not queue:
             self._queued_units = 0.0
         return served_ops
 
@@ -216,8 +283,14 @@ class MetadataServer:
         self._degraded_since = None
 
     def _record(self, kind: str, count: float, latency: float) -> None:
-        self.served[kind] = self.served.get(kind, 0.0) + count
-        self._window[kind] = self._window.get(kind, 0.0) + count
+        slot = self._window_index.get(kind)
+        if slot is None:
+            slot = self._window_slot(kind)
+        self._served_buf[slot] += count
+        accumulated = self._window_buf[slot]
+        if accumulated == 0.0:
+            self._window_touched.append(slot)
+        self._window_buf[slot] = accumulated + count
         self._latency_ops += count
         self._latency_sum += latency * count
 

@@ -1,0 +1,206 @@
+"""Sweep cells: one independent ``(experiment, config, seed)`` world-run.
+
+A :class:`Cell` is the unit the sweep runner schedules, caches, and
+compares.  The experiment registry maps a cell's ``experiment`` key to a
+module-level runner function (module-level so cells can be dispatched to
+multiprocessing workers), and the grid builders below reproduce the
+paper's artefact grids cell-by-cell:
+
+* ``fig4_grid`` -- five metadata-target panels; each cell runs the three
+  setups (baseline / passthrough / padll) internally because the PADLL
+  step limits are derived from that cell's own baseline series;
+* ``fig5_grid`` -- the four per-job QoS setups;
+* ``ablation_grid`` -- the control-lag, burst-size, and loop-interval
+  design-knob sweeps;
+* ``harm_grid`` -- the protected and unprotected MDS-overload runs;
+* ``overhead_grid`` -- the simulated interception-overhead check.
+
+Determinism: every cell carries its own seed and the experiments seed
+their generators from it explicitly; nothing reads global RNG state, so
+cells produce bit-identical results wherever (and in whatever order)
+they run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "Cell",
+    "EXPERIMENTS",
+    "run_cell",
+    "fig4_grid",
+    "fig5_grid",
+    "ablation_grid",
+    "harm_grid",
+    "overhead_grid",
+    "full_grid",
+]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One independent world-run of a sweep grid."""
+
+    experiment: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.experiment not in EXPERIMENTS:
+            raise ConfigError(
+                f"unknown experiment {self.experiment!r}; "
+                f"known: {sorted(EXPERIMENTS)}"
+            )
+        # Freeze params into a plain dict so cells pickle cleanly and the
+        # cache's canonical JSON sees exactly what the runner will pass.
+        object.__setattr__(self, "params", dict(self.params))
+
+    @property
+    def name(self) -> str:
+        """Human-readable cell label for progress lines."""
+        detail = self.params.get("target") or self.params.get("setup_name")
+        if detail is None and "protected" in self.params:
+            detail = "protected" if self.params["protected"] else "unprotected"
+        base = self.experiment if detail is None else f"{self.experiment}:{detail}"
+        return f"{base}@seed{self.seed}"
+
+
+# -- experiment runners -----------------------------------------------------------
+# Module-level (picklable) wrappers: each takes (seed, **params) and
+# returns the experiment's own result object.
+
+
+def _run_fig4_metadata(seed: int, **params: Any):
+    from repro.experiments.fig4 import run_fig4_metadata
+
+    return run_fig4_metadata(seed=seed, **params)
+
+
+def _run_fig5(seed: int, **params: Any):
+    from repro.experiments.fig5 import run_fig5
+
+    return run_fig5(seed=seed, **params)
+
+
+def _run_ablation_lag(seed: int, **params: Any):
+    from repro.experiments.ablations import sweep_control_lag
+
+    return sweep_control_lag(seed=seed, **params)
+
+
+def _run_ablation_burst(seed: int, **params: Any):
+    from repro.experiments.ablations import sweep_burst_size
+
+    return sweep_burst_size(seed=seed, **params)
+
+
+def _run_ablation_loop(seed: int, **params: Any):
+    from repro.experiments.ablations import sweep_loop_interval
+
+    return dict(sweep_loop_interval(seed=seed, **params))
+
+
+def _run_harm(seed: int, **params: Any):
+    from repro.experiments.harm import run_harm
+
+    return run_harm(seed=seed, **params)
+
+
+def _run_overhead_sim(seed: int, **params: Any):
+    from repro.experiments.overhead import run_sim_overhead
+
+    if "targets" in params:
+        params = dict(params, targets=tuple(params["targets"]))
+    return run_sim_overhead(seed=seed, **params)
+
+
+EXPERIMENTS: Dict[str, Callable[..., Any]] = {
+    "fig4-metadata": _run_fig4_metadata,
+    "fig5": _run_fig5,
+    "ablation-lag": _run_ablation_lag,
+    "ablation-burst": _run_ablation_burst,
+    "ablation-loop": _run_ablation_loop,
+    "harm": _run_harm,
+    "overhead-sim": _run_overhead_sim,
+}
+
+
+def run_cell(cell: Cell) -> Any:
+    """Execute one cell and return the experiment's result object."""
+    runner = EXPERIMENTS[cell.experiment]
+    return runner(cell.seed, **cell.params)
+
+
+# -- grid builders ----------------------------------------------------------------
+def fig4_grid(
+    seed: int = 0,
+    targets: Optional[Tuple[str, ...]] = None,
+    duration: float = 1800.0,
+    step_period: float = 360.0,
+    drain_tail: float = 300.0,
+) -> List[Cell]:
+    """One cell per Fig. 4 metadata target (3 setups run inside each)."""
+    from repro.experiments.fig4 import METADATA_TARGETS
+
+    return [
+        Cell(
+            "fig4-metadata",
+            {
+                "target": target,
+                "duration": duration,
+                "step_period": step_period,
+                "drain_tail": drain_tail,
+            },
+            seed=seed,
+        )
+        for target in (targets or METADATA_TARGETS)
+    ]
+
+
+def fig5_grid(seed: int = 0, duration: float = 3600.0) -> List[Cell]:
+    """One cell per Fig. 5 setup."""
+    from repro.experiments.fig5 import FIG5_SETUPS
+
+    return [
+        Cell("fig5", {"setup_name": setup, "duration": duration}, seed=seed)
+        for setup in FIG5_SETUPS
+    ]
+
+
+def ablation_grid(
+    seed: int = 0, duration: float = 600.0, loop_duration: float = 900.0
+) -> List[Cell]:
+    """The three design-knob sweeps, one cell each."""
+    return [
+        Cell("ablation-lag", {"duration": duration}, seed=seed),
+        Cell("ablation-burst", {"duration": duration}, seed=seed),
+        Cell("ablation-loop", {"duration": loop_duration}, seed=seed),
+    ]
+
+
+def harm_grid(seed: int = 0, duration: float = 3600.0) -> List[Cell]:
+    """Unprotected and protected MDS-overload runs."""
+    return [
+        Cell("harm", {"protected": False, "duration": duration}, seed=seed),
+        Cell("harm", {"protected": True, "duration": duration}, seed=seed),
+    ]
+
+
+def overhead_grid(seed: int = 0, duration: float = 600.0) -> List[Cell]:
+    """The simulated baseline-vs-passthrough overhead check."""
+    return [Cell("overhead-sim", {"duration": duration}, seed=seed)]
+
+
+def full_grid(seed: int = 0) -> List[Cell]:
+    """Every paper-scale artefact grid, concatenated."""
+    return (
+        fig4_grid(seed=seed)
+        + fig5_grid(seed=seed)
+        + ablation_grid(seed=seed)
+        + harm_grid(seed=seed)
+        + overhead_grid(seed=seed)
+    )

@@ -163,3 +163,18 @@ class TestWorldMechanics:
         world = ReplayWorld(Setup.BASELINE)
         with pytest.raises(ConfigError):
             world.run(0.0)
+
+    def test_run_stops_all_periodic_drivers(self, small_trace):
+        # Regression: run() used to stop only the control-loop ticker,
+        # leaving the drain ticker and collector firing if a caller kept
+        # stepping (or reused) the environment after the world finished.
+        world = ReplayWorld(Setup.BASELINE, sample_period=1.0)
+        world.add_job(JobSpec(job_id="j1", trace=small_trace))
+        result = world.run(10.0)
+        assert world._drain_ticker.stopped
+        assert world.collector._ticker.stopped
+        sampled = {name: len(ts) for name, ts in world.collector.series.items()}
+        world.env.run(until=world.env.now + 25.0)
+        # No ghost drain/collector ticks: nothing sampled after run().
+        assert {name: len(ts) for name, ts in world.collector.series.items()} == sampled
+        assert result.duration == 10.0

@@ -107,7 +107,7 @@ class TestFailover:
         t[0] = 42.0
         client.submit(Request(OperationType.OPEN, path="/f"))
         # The offer landed at the simulated time, visible in latency math:
-        assert cluster.mds_servers[0]._queue[0].arrived == 42.0
+        assert cluster.mds_servers[0]._queue[0][3] == 42.0  # [slot, count, cost, arrived]
 
     def test_capacity_quote(self):
         cluster = small_cluster()

@@ -1,0 +1,159 @@
+"""Sweep runner: determinism, caching, and parallel/serial equivalence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.runner import (
+    Cell,
+    ResultCache,
+    SweepRunner,
+    ablation_grid,
+    cell_digest,
+    fig4_grid,
+    fig5_grid,
+    full_grid,
+    harm_grid,
+    overhead_grid,
+    results_equal,
+    run_cell,
+)
+
+
+def small_grid(seed: int = 0):
+    """A fast two-cell grid exercising two different experiments."""
+    return [
+        Cell("harm", {"protected": True, "duration": 120.0}, seed=seed),
+        Cell(
+            "fig4-metadata",
+            {
+                "target": "open",
+                "duration": 60.0,
+                "step_period": 30.0,
+                "drain_tail": 30.0,
+            },
+            seed=seed,
+        ),
+    ]
+
+
+class TestCell:
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ConfigError):
+            Cell("no-such-experiment")
+
+    def test_name_includes_detail_and_seed(self):
+        assert Cell("fig5", {"setup_name": "static"}, seed=3).name == "fig5:static@seed3"
+        assert Cell("harm", {"protected": False}).name == "harm:unprotected@seed0"
+
+    def test_grids_cover_paper_artefacts(self):
+        assert len(fig4_grid()) == 5
+        assert len(fig5_grid()) == 4
+        assert len(ablation_grid()) == 3
+        assert len(harm_grid()) == 2
+        assert len(overhead_grid()) == 1
+        assert len(full_grid()) == 15
+
+
+class TestCacheKeys:
+    def test_digest_depends_on_params_and_seed(self):
+        base = Cell("fig5", {"setup_name": "static", "duration": 60.0}, seed=0)
+        assert cell_digest(base) == cell_digest(
+            Cell("fig5", {"duration": 60.0, "setup_name": "static"}, seed=0)
+        )
+        assert cell_digest(base) != cell_digest(
+            Cell("fig5", {"setup_name": "static", "duration": 61.0}, seed=0)
+        )
+        assert cell_digest(base) != cell_digest(
+            Cell("fig5", {"setup_name": "static", "duration": 60.0}, seed=1)
+        )
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cell = Cell("fig5", {"setup_name": "static", "duration": 60.0})
+        path = cache.put(cell, {"ok": 1.0})
+        path.write_bytes(b"not a pickle")
+        hit, result = cache.get(cell)
+        assert not hit and result is None
+        assert not path.exists()  # dropped for recompute
+
+
+class TestResultsEqual:
+    def test_arrays_compare_bitwise(self):
+        a = np.array([0.1, 0.2, 0.3])
+        assert results_equal({"x": (a, a * 2)}, {"x": (a.copy(), a * 2)})
+        b = a.copy()
+        b[1] = np.nextafter(b[1], 1.0)  # one-ulp difference must fail
+        assert not results_equal({"x": a}, {"x": b})
+
+    def test_dataclasses_and_nans(self):
+        cell = Cell("fig5", {"setup_name": "static"})
+        assert results_equal(cell, Cell("fig5", {"setup_name": "static"}))
+        assert not results_equal(cell, Cell("fig5", {"setup_name": "priority"}))
+        assert results_equal(float("nan"), float("nan"))
+        assert not results_equal(1.0, 2.0)
+
+
+class TestSweepRunner:
+    def test_serial_parallel_and_cache_replay_identical(self, tmp_path):
+        cells = small_grid()
+        lines: list[str] = []
+        serial = SweepRunner(
+            jobs=1, cache_dir=tmp_path / "a", log=lines.append
+        ).run(cells)
+        parallel = SweepRunner(
+            jobs=2, cache_dir=tmp_path / "b", log=lines.append
+        ).run(cells)
+        replay = SweepRunner(
+            jobs=1, cache_dir=tmp_path / "a", log=lines.append
+        ).run(cells)
+
+        assert [o.cell for o in serial] == cells
+        assert [o.cell for o in parallel] == cells
+        assert not any(o.cached for o in serial)
+        assert not any(o.cached for o in parallel)
+        # Second sweep of an unchanged grid completes entirely from cache.
+        assert all(o.cached for o in replay)
+        for s, p, r in zip(serial, parallel, replay):
+            assert results_equal(s.result, p.result), s.cell.name
+            assert results_equal(s.result, r.result), s.cell.name
+
+    def test_progress_lines_are_structured(self, tmp_path):
+        lines: list[str] = []
+        cells = [Cell("harm", {"protected": True, "duration": 60.0})]
+        SweepRunner(jobs=1, cache_dir=tmp_path, log=lines.append).run(cells)
+        assert any(
+            line.startswith("[sweep] 1/1 harm:protected@seed0 done") for line in lines
+        )
+        assert lines[-1].startswith("[sweep] 1 cells: 0 cached, 1 computed")
+
+    def test_no_cache_mode_writes_nothing(self, tmp_path):
+        cells = [Cell("harm", {"protected": True, "duration": 60.0})]
+        runner = SweepRunner(
+            jobs=1, cache_dir=tmp_path, use_cache=False, log=lambda _line: None
+        )
+        first = runner.run(cells)
+        second = runner.run(cells)
+        assert list(tmp_path.glob("*.pkl")) == []
+        assert not first[0].cached and not second[0].cached
+        assert results_equal(first[0].result, second[0].result)
+
+    def test_seed_change_misses_cache(self, tmp_path):
+        runner = SweepRunner(jobs=1, cache_dir=tmp_path, log=lambda _line: None)
+        cell0 = Cell("harm", {"protected": True, "duration": 60.0}, seed=0)
+        cell1 = Cell("harm", {"protected": True, "duration": 60.0}, seed=1)
+        runner.run([cell0])
+        outcomes = runner.run([cell1])
+        assert not outcomes[0].cached
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ConfigError):
+            SweepRunner(jobs=0)
+
+    def test_run_cell_matches_direct_call(self):
+        from repro.experiments.harm import run_harm
+
+        cell = Cell("harm", {"protected": True, "duration": 60.0}, seed=0)
+        assert results_equal(run_cell(cell), run_harm(protected=True, duration=60.0))

@@ -101,3 +101,25 @@ class TestExport:
         rc = main(["experiment", "fig2", "--export", "/tmp/nowhere"])
         assert rc == 0
         assert "not supported" in capsys.readouterr().err
+
+
+class TestSweepCommand:
+    def test_invalid_grid_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "fig9"])
+
+    def test_invalid_jobs_reports_error(self, tmp_path, capsys):
+        rc = main(["sweep", "harm", "--quick", "--jobs", "0",
+                   "--cache-dir", str(tmp_path)])
+        assert rc == 2
+        assert "jobs" in capsys.readouterr().err
+
+    def test_quick_harm_sweep_computes_then_replays(self, tmp_path, capsys):
+        args = ["sweep", "harm", "--quick", "--jobs", "2",
+                "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "harm:unprotected@seed0" in out
+        assert out.count("computed") == 2
+        assert main(args) == 0
+        assert capsys.readouterr().out.count("cached") == 2

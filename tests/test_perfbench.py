@@ -46,6 +46,27 @@ class TestHarness:
             PerfbenchConfig(repeats=0)
         with pytest.raises(ValueError):
             PerfbenchConfig(scale=0.0)
+        with pytest.raises(ValueError):
+            PerfbenchConfig(warmup=-1)
+        with pytest.raises(ValueError):
+            PerfbenchConfig(label="two\nlines")
+        with pytest.raises(ValueError):
+            PerfbenchConfig(label="x" * 121)
+
+    def test_warmup_runs_are_untimed(self):
+        calls = []
+
+        def fake_bench():
+            calls.append(len(calls))
+            return {"value": float(len(calls)), "elapsed_s": 0.1}
+
+        from repro.perfbench.harness import _best_of
+
+        value, repeats, _detail = _best_of(fake_bench, repeats=2, warmup=1)
+        # Three calls total, but only the two recorded repeats count.
+        assert len(calls) == 3
+        assert repeats == (2.0, 3.0)
+        assert value == 3.0
 
     def test_run_and_save_report(self, tmp_path):
         config = PerfbenchConfig(repeats=1, scale=0.01, label="smoke")
@@ -60,7 +81,9 @@ class TestHarness:
             "stage_ops_per_sec",
             "classifier_decisions_per_sec",
             "fig4_sim_seconds_per_sec",
+            "sweep_cells_per_sec",
         }
+        assert data["warmup"] == 1
         for bench in data["benchmarks"].values():
             assert bench["value"] > 0
             assert len(bench["repeats"]) == 1

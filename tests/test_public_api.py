@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.interpose",
     "repro.monitoring",
     "repro.pfs",
+    "repro.runner",
     "repro.simulation",
     "repro.workloads",
 ]
@@ -67,6 +68,9 @@ MODULES = [
     "repro.pfs.mds",
     "repro.pfs.namespace",
     "repro.pfs.oss",
+    "repro.runner.cache",
+    "repro.runner.cells",
+    "repro.runner.sweep",
     "repro.simulation.engine",
     "repro.simulation.resources",
     "repro.simulation.rng",
