@@ -8,6 +8,7 @@ Subcommands::
     padll-repro ablation lag|burst|loop
     padll-repro sweep fig4|fig5|ablations|harm|overhead|all [--jobs N]
     padll-repro perfbench [--smoke] [--out DIR]
+    padll-repro lint [paths ...] [--format json] [--baseline] [--write-baseline]
 
 Each experiment subcommand regenerates the corresponding paper artefact
 and prints it as text (the same rendering the benchmarks use).
@@ -147,6 +148,44 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         default=".",
         help="directory for BENCH_<stamp>.json (default: current directory)",
+    )
+
+    # -- lint -----------------------------------------------------------------------
+    lint = sub.add_parser(
+        "lint",
+        help="run the determinism/interposition static-analysis rules",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: [tool.padll-lint] paths)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (json is the CI artifact schema)",
+    )
+    lint.add_argument(
+        "--baseline",
+        action="store_true",
+        help="subtract the committed baseline file before gating",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    lint.add_argument(
+        "--config",
+        metavar="PYPROJECT",
+        default=None,
+        help="pyproject.toml holding [tool.padll-lint] (default: nearest)",
+    )
+    lint.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also list pragma-suppressed and baselined findings (text format)",
     )
 
     # -- policy configs ----------------------------------------------------------------
@@ -362,6 +401,45 @@ def _cmd_perfbench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.errors import ConfigError
+    from repro.lint import Baseline, lint_paths, load_config, render_json, render_text
+
+    try:
+        config = load_config(Path(args.config) if args.config else None)
+        baseline_path = config.resolve(config.baseline)
+        if args.write_baseline:
+            result = lint_paths(
+                [Path(p) for p in args.paths] or None, config
+            )
+            if result.parse_errors:
+                for error in result.parse_errors:
+                    print(error, file=sys.stderr)
+                return 1
+            Baseline.from_findings(
+                finding for finding in result.findings if not finding.suppressed
+            ).save(baseline_path)
+            print(
+                f"wrote {baseline_path} "
+                f"({len(result.active)} grandfathered finding(s))"
+            )
+            return 0
+        baseline = Baseline.load(baseline_path) if args.baseline else None
+        result = lint_paths(
+            [Path(p) for p in args.paths] or None, config, baseline=baseline
+        )
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result, verbose=args.verbose))
+    return 0 if result.ok else 1
+
+
 def _cmd_policy_check(args: argparse.Namespace) -> int:
     from repro.errors import ConfigError
     from repro.core.config import load_config
@@ -400,6 +478,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_sweep(args)
         if args.command == "perfbench":
             return _cmd_perfbench(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
         if args.command == "policy":
             return _cmd_policy_check(args)
         return _cmd_ablation(args)

@@ -1,0 +1,48 @@
+"""`padll-lint`: AST-based determinism & interposition static analysis.
+
+The reproduction's headline guarantees -- bit-identical fixed-seed
+fig4/fig5 outputs, SHA-256 content-addressed sweep caching, and
+serial == parallel == cache-replay equivalence -- rest on source-level
+*determinism invariants* that this package turns into machine-checked
+lint rules:
+
+======  ========================================================
+Rule    Invariant
+======  ========================================================
+DET001  no wall-clock reads inside deterministic layers
+DET002  no unseeded module-level ``random``/``numpy.random`` draws
+DET003  no unordered iteration feeding ordering-sensitive output
+DET004  no ``id()``/``hash()`` in cache-key or digest construction
+DET005  no mutable default arguments in public APIs
+INT001  interpose layer never calls a patchable entry point directly
+======  ========================================================
+
+Findings can be suppressed in place with ``# padll: allow(RULE)``
+pragmas or grandfathered through a committed baseline file.  The
+``padll-repro lint`` subcommand (see :mod:`repro.cli`) is the
+user-facing entry point; CI gates on it.
+"""
+
+from repro.lint.config import DEFAULT_CONFIG, LintConfig, load_config
+from repro.lint.findings import Finding, fingerprint
+from repro.lint.baseline import Baseline
+from repro.lint.engine import LintResult, lint_paths, lint_source
+from repro.lint.report import render_json, render_text
+from repro.lint.rules import RULES, Rule, all_rule_ids
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_CONFIG",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "RULES",
+    "Rule",
+    "all_rule_ids",
+    "fingerprint",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,122 @@
+"""The committed-findings baseline.
+
+A baseline grandfathers *justified* pre-existing findings so the lint
+gate can turn on strict from day one: CI fails on any finding that is
+neither pragma-suppressed nor present in the baseline, while the
+baseline itself is reviewed like code (every entry carries a
+``justification`` string).
+
+Entries are keyed by the line-number-independent fingerprint from
+:mod:`repro.lint.findings` with a per-fingerprint ``count``, so edits
+elsewhere in a file do not invalidate them, while a *new* duplicate of a
+baselined line still fails.  The file is JSON with sorted keys --
+deterministically serialised, like everything else in this repo.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errors import ConfigError
+from repro.lint.findings import Finding, fingerprint
+
+__all__ = ["Baseline", "BASELINE_VERSION"]
+
+BASELINE_VERSION = 1
+
+
+class Baseline:
+    """In-memory baseline: fingerprint -> (count, justification)."""
+
+    def __init__(
+        self, entries: Dict[tuple, Tuple[int, str]] | None = None
+    ) -> None:
+        self.entries: Dict[tuple, Tuple[int, str]] = dict(entries or {})
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_findings(
+        cls, findings: Iterable[Finding], justification: str = "grandfathered"
+    ) -> "Baseline":
+        entries: Dict[tuple, Tuple[int, str]] = {}
+        for finding in findings:
+            key = fingerprint(finding)
+            count, note = entries.get(key, (0, justification))
+            entries[key] = (count + 1, note)
+        return cls(entries)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except FileNotFoundError:
+            raise ConfigError(
+                f"baseline file {path} does not exist; create it with "
+                f"`padll-repro lint --write-baseline`"
+            ) from None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigError(f"cannot read baseline {path}: {exc}") from None
+        if not isinstance(doc, dict) or doc.get("version") != BASELINE_VERSION:
+            raise ConfigError(
+                f"baseline {path} has unsupported version "
+                f"{doc.get('version') if isinstance(doc, dict) else doc!r}"
+            )
+        entries: Dict[tuple, Tuple[int, str]] = {}
+        for entry in doc.get("entries", []):
+            key = (entry["rule"], entry["path"], entry["source"])
+            entries[key] = (
+                int(entry.get("count", 1)),
+                str(entry.get("justification", "")),
+            )
+        return cls(entries)
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: Path) -> None:
+        doc = {
+            "version": BASELINE_VERSION,
+            "entries": [
+                {
+                    "rule": rule,
+                    "path": rel_path,
+                    "source": source,
+                    "count": count,
+                    "justification": justification,
+                }
+                for (rule, rel_path, source), (count, justification) in sorted(
+                    self.entries.items()
+                )
+            ],
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    # -- application ---------------------------------------------------------
+
+    def apply(self, findings: List[Finding]) -> List[Finding]:
+        """Mark baselined findings; returns the full annotated list.
+
+        Findings are consumed against each fingerprint's count in file
+        order, so adding an (N+1)-th duplicate of an N-count entry still
+        surfaces exactly one fresh finding.
+        """
+        remaining = {key: count for key, (count, _) in self.entries.items()}
+        annotated: List[Finding] = []
+        for finding in findings:
+            key = fingerprint(finding)
+            if not finding.suppressed and remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                finding = Finding(
+                    **{**finding.to_dict(), "baselined": True}
+                )
+            annotated.append(finding)
+        return annotated
+
+    def __len__(self) -> int:
+        return sum(count for count, _ in self.entries.values())

@@ -1,0 +1,155 @@
+"""The lint engine: file discovery, per-module scanning, aggregation.
+
+One :func:`lint_source` call parses a module once, builds the alias and
+parent tables once, then dispatches every AST node to every applicable
+rule.  :func:`lint_paths` wraps that in deterministic (sorted) file
+discovery -- the linter itself must obey its own DET003.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.lint.baseline import Baseline
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding
+from repro.lint.pragmas import scan_pragmas
+from repro.lint.rules import RULES, LintContext, Rule
+
+__all__ = ["LintResult", "iter_python_files", "lint_paths", "lint_source"]
+
+
+@dataclass(slots=True)
+class LintResult:
+    """Aggregated outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    parse_errors: List[str] = field(default_factory=list)
+
+    @property
+    def active(self) -> List[Finding]:
+        """Findings that gate: neither pragma-suppressed nor baselined."""
+        return [
+            finding
+            for finding in self.findings
+            if not finding.suppressed and not finding.baselined
+        ]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        return [finding for finding in self.findings if finding.suppressed]
+
+    @property
+    def baselined(self) -> List[Finding]:
+        return [finding for finding in self.findings if finding.baselined]
+
+    @property
+    def ok(self) -> bool:
+        return not self.active and not self.parse_errors
+
+
+def _select_rules(config: LintConfig, rules: Sequence[Rule]) -> List[Rule]:
+    disabled = set(config.disable)
+    unknown = disabled - {rule.id for rule in rules}
+    if unknown:
+        raise ConfigError(f"disable lists unknown rule ids: {sorted(unknown)}")
+    return [rule for rule in rules if rule.id not in disabled]
+
+
+def lint_source(
+    source: str,
+    path: str,
+    config: LintConfig,
+    rules: Optional[Sequence[Rule]] = None,
+) -> Tuple[List[Finding], Optional[str]]:
+    """Lint one module's text; returns (findings, parse_error)."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [], f"{path}:{exc.lineno or 0}: syntax error: {exc.msg}"
+    module = config.module_for(Path(path))
+    ctx = LintContext(path, module, tree, source, config)
+    active_rules = [
+        rule
+        for rule in _select_rules(config, rules if rules is not None else RULES)
+        if rule.applies(ctx)
+    ]
+    if active_rules:
+        for node in ast.walk(tree):
+            for rule in active_rules:
+                rule.check(node, ctx)
+    pragmas = scan_pragmas(source)
+    findings = []
+    for finding in sorted(ctx.findings, key=lambda f: (f.line, f.col, f.rule)):
+        if pragmas.suppresses(finding.rule, finding.line):
+            finding = Finding(**{**finding.to_dict(), "suppressed": True})
+        findings.append(finding)
+    return findings, None
+
+
+def iter_python_files(
+    paths: Iterable[Path], exclude: Tuple[str, ...] = ()
+) -> List[Path]:
+    """Deterministic (sorted) expansion of files/directories to .py files."""
+    files: List[Path] = []
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise ConfigError(f"lint path does not exist: {path}")
+    seen = set()
+    selected: List[Path] = []
+    for file in files:
+        key = str(file)
+        if key in seen or any(marker in key for marker in exclude):
+            continue
+        seen.add(key)
+        selected.append(file)
+    return selected
+
+
+def lint_paths(
+    paths: Optional[Sequence[Path]] = None,
+    config: Optional[LintConfig] = None,
+    baseline: Optional[Baseline] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> LintResult:
+    """Lint files/directories; applies pragmas, then the baseline."""
+    config = config if config is not None else LintConfig()
+    if paths is None:
+        paths = [config.resolve(entry) for entry in config.paths]
+    result = LintResult()
+    all_findings: List[Finding] = []
+    for file in iter_python_files(paths, config.exclude):
+        try:
+            source = file.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            result.parse_errors.append(f"{file}: unreadable: {exc}")
+            continue
+        findings, parse_error = lint_source(
+            source, _display_path(file, config), config, rules
+        )
+        if parse_error is not None:
+            result.parse_errors.append(parse_error)
+        all_findings.extend(findings)
+        result.files_scanned += 1
+    if baseline is not None:
+        all_findings = baseline.apply(all_findings)
+    result.findings = all_findings
+    return result
+
+
+def _display_path(file: Path, config: LintConfig) -> str:
+    """Config-root-relative path (stable across checkouts) when possible."""
+    try:
+        return file.resolve().relative_to(Path(config.root).resolve()).as_posix()
+    except ValueError:
+        return file.as_posix()

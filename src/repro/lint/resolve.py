@@ -1,0 +1,63 @@
+"""Import and alias resolution for rule matching.
+
+Rules match on *canonical dotted names* (``time.perf_counter``,
+``numpy.random.default_rng``), never on surface spellings, so
+``import numpy as np; np.random.rand()`` and
+``from time import perf_counter as pc; pc()`` both resolve to the name
+the rule tables list.  Resolution is intentionally flow-insensitive:
+every ``import`` in the module contributes to one alias table, and a
+bare name that no import binds resolves to itself (which is how builtin
+calls like ``id(...)`` and ``open(...)`` are recognised).  Rebinding a
+builtin locally can therefore shadow-confuse a rule; the pragma escape
+hatch covers that rare case.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional
+
+__all__ = ["ImportResolver"]
+
+
+class ImportResolver:
+    """Maps surface names in one module to canonical dotted names."""
+
+    def __init__(self, tree: ast.AST) -> None:
+        #: local alias -> canonical dotted prefix
+        self.aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".", 1)[0]
+                    canonical = alias.name if alias.asname else local
+                    self.aliases[local] = canonical
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:  # relative import: package-local, never a
+                    continue  # stdlib/numpy target the rule tables name
+                module = node.module or ""
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.aliases[local] = f"{module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Canonical dotted name of an expression, or None if unknown.
+
+        ``Name`` nodes resolve through the alias table, falling back to
+        the bare name itself (covers builtins).  ``Attribute`` chains
+        resolve their base and append; any other expression (a call
+        result, a subscript) is unresolvable and returns None.
+        """
+        if isinstance(node, ast.Name):
+            return self.aliases.get(node.id, node.id)
+        if isinstance(node, ast.Attribute):
+            base = self.resolve(node.value)
+            if base is None:
+                return None
+            return f"{base}.{node.attr}"
+        return None
+
+    def resolve_call(self, node: ast.Call) -> Optional[str]:
+        return self.resolve(node.func)

@@ -108,7 +108,7 @@ class ResultCache:
         removed = 0
         if not self.root.is_dir():
             return 0
-        for entry in self.root.glob("*.pkl"):
+        for entry in sorted(self.root.glob("*.pkl")):
             try:
                 entry.unlink()
                 removed += 1

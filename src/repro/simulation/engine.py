@@ -123,6 +123,7 @@ class Event:
             if self._processed
             else ("triggered" if self._triggered else "pending")
         )
+        # padll: allow(DET004) -- debugging repr, never reaches results
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
 
 

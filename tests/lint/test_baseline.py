@@ -1,0 +1,116 @@
+"""Baseline round-trip: write, reload, filter, and drift behaviour."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.lint import Baseline, LintConfig, lint_paths
+
+VIOLATION = "import time\n\n\ndef stamp():\n    return time.time()\n"
+
+
+def make_tree(tmp_path, body: str = VIOLATION):
+    module = tmp_path / "src" / "repro" / "simulation" / "stamp.py"
+    module.parent.mkdir(parents=True)
+    module.write_text(body)
+    config = LintConfig(
+        paths=("src/repro",), root=str(tmp_path), baseline="lint-baseline.json"
+    )
+    return module, config
+
+
+class TestBaselineRoundTrip:
+    def test_write_then_clean_run(self, tmp_path):
+        _, config = make_tree(tmp_path)
+        first = lint_paths(config=config)
+        assert [f.rule for f in first.active] == ["DET001"]
+
+        baseline_path = config.resolve(config.baseline)
+        Baseline.from_findings(first.active, justification="pre-existing").save(
+            baseline_path
+        )
+        reloaded = Baseline.load(baseline_path)
+        assert len(reloaded) == 1
+
+        second = lint_paths(config=config, baseline=reloaded)
+        assert second.ok
+        assert len(second.baselined) == 1
+
+    def test_baseline_survives_line_shift(self, tmp_path):
+        module, config = make_tree(tmp_path)
+        baseline_path = config.resolve(config.baseline)
+        Baseline.from_findings(lint_paths(config=config).active).save(baseline_path)
+
+        # Edits *above* the grandfathered line must not break the match.
+        module.write_text("import time\n\nPAD = 1\nPAD2 = 2\n\n" + VIOLATION.split("\n", 2)[2])
+        result = lint_paths(config=config, baseline=Baseline.load(baseline_path))
+        assert result.ok
+
+    def test_new_duplicate_of_baselined_line_still_fails(self, tmp_path):
+        module, config = make_tree(tmp_path)
+        baseline_path = config.resolve(config.baseline)
+        Baseline.from_findings(lint_paths(config=config).active).save(baseline_path)
+
+        module.write_text(
+            VIOLATION + "\n\ndef stamp2():\n    return time.time()\n"
+        )
+        result = lint_paths(config=config, baseline=Baseline.load(baseline_path))
+        assert not result.ok
+        assert len(result.active) == 1  # only the new copy gates
+        assert len(result.baselined) == 1
+
+    def test_fixed_finding_leaves_stale_entry_harmless(self, tmp_path):
+        module, config = make_tree(tmp_path)
+        baseline_path = config.resolve(config.baseline)
+        Baseline.from_findings(lint_paths(config=config).active).save(baseline_path)
+
+        module.write_text("import time\n\n\ndef stamp(now):\n    return now\n")
+        result = lint_paths(config=config, baseline=Baseline.load(baseline_path))
+        assert result.ok
+        assert result.baselined == []
+
+    def test_baseline_file_is_deterministic_json(self, tmp_path):
+        _, config = make_tree(tmp_path)
+        baseline_path = config.resolve(config.baseline)
+        findings = lint_paths(config=config).active
+        Baseline.from_findings(findings).save(baseline_path)
+        first = baseline_path.read_text()
+        Baseline.from_findings(findings).save(baseline_path)
+        assert baseline_path.read_text() == first
+        doc = json.loads(first)
+        assert doc["version"] == 1
+        (entry,) = doc["entries"]
+        assert entry["rule"] == "DET001"
+        assert entry["path"].endswith("stamp.py")
+        assert entry["count"] == 1
+        assert entry["justification"]
+
+    def test_missing_baseline_raises_config_error(self, tmp_path):
+        with pytest.raises(ConfigError, match="does not exist"):
+            Baseline.load(tmp_path / "nope.json")
+
+    def test_corrupt_baseline_raises_config_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigError, match="cannot read"):
+            Baseline.load(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "v0.json"
+        path.write_text('{"version": 99, "entries": []}')
+        with pytest.raises(ConfigError, match="unsupported version"):
+            Baseline.load(path)
+
+    def test_pragma_suppressed_findings_stay_out_of_baseline(self, tmp_path):
+        _, config = make_tree(
+            tmp_path,
+            "import time\n\n\ndef stamp():\n"
+            "    return time.time()  # padll: allow(DET001)\n",
+        )
+        result = lint_paths(config=config)
+        assert result.ok
+        baseline = Baseline.from_findings(result.active)
+        assert len(baseline) == 0

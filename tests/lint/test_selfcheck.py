@@ -1,0 +1,65 @@
+"""The gate itself: ``src/repro`` lints clean against the committed baseline,
+and a seeded violation in a deterministic layer is caught."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import Baseline, lint_paths, load_config
+from repro.lint.rules import PATCHED_OS_NAMES
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestSelfCheck:
+    def test_src_repro_lints_clean_against_committed_baseline(self):
+        config = load_config(REPO_ROOT / "pyproject.toml")
+        baseline = Baseline.load(config.resolve(config.baseline))
+        result = lint_paths(config=config, baseline=baseline)
+        assert result.parse_errors == []
+        assert result.active == [], "\n".join(
+            finding.render() for finding in result.active
+        )
+        # The whole src/repro tree was actually scanned (catches a config
+        # regression that would silently lint nothing).
+        assert result.files_scanned > 60
+
+    def test_committed_baseline_is_empty(self):
+        # ISSUE 3 acceptance: the baseline ships empty; every intentional
+        # exemption is an in-source pragma with a justification comment.
+        config = load_config(REPO_ROOT / "pyproject.toml")
+        assert len(Baseline.load(config.resolve(config.baseline))) == 0
+
+    def test_seeded_violation_is_caught(self, tmp_path):
+        # CI-gate rehearsal: introduce a wall-clock call into a copy of a
+        # real simulation module and assert the gate trips.
+        engine_src = (REPO_ROOT / "src/repro/simulation/engine.py").read_text()
+        seeded = engine_src + (
+            "\n\ndef _leak_wall_clock():\n    import time\n"
+            "    return time.time()\n"
+        )
+        target = tmp_path / "src" / "repro" / "simulation" / "engine.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(seeded)
+        config = load_config(REPO_ROOT / "pyproject.toml")
+        result = lint_paths([target], config)
+        assert [f.rule for f in result.active] == ["DET001"]
+        assert result.active[0].line > len(engine_src.splitlines()) - 1
+
+    def test_patched_os_table_covers_monkeypatch_surface(self):
+        # INT001's entry-point list must cover everything the Interposer
+        # actually patches, or a re-entrancy bug could slip past the lint.
+        from repro.interpose.monkeypatch import _FD_TABLE, _OS_TABLE
+
+        patched = set(_OS_TABLE) | set(_FD_TABLE) | {"open"}
+        missing = patched - PATCHED_OS_NAMES
+        assert not missing, f"INT001 table missing patched calls: {missing}"
+
+    def test_linter_obeys_its_own_rules(self):
+        # repro.lint is not a deterministic layer, but DET003/DET005 are
+        # tree-wide; the linter's own sources must pass them.
+        config = load_config(REPO_ROOT / "pyproject.toml")
+        result = lint_paths([REPO_ROOT / "src/repro/lint"], config)
+        assert result.active == [], "\n".join(
+            finding.render() for finding in result.active
+        )

@@ -1,0 +1,92 @@
+"""Wall-clock timing in the sweep runner is telemetry only.
+
+``repro.runner.sweep`` and ``repro.experiments.overhead`` carry
+``# padll: allow(DET001)`` pragmas because their ``time.perf_counter()``
+reads are *intentionally* wall-clock (progress lines, live-overhead
+measurement).  These tests pin down the invariant those pragmas assert:
+no timing value ever reaches a cache key or a cached result payload.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import time
+
+import pytest
+
+from repro.runner import SweepRunner, harm_grid, results_equal
+from repro.runner.cache import ResultCache, cell_digest
+
+
+@pytest.fixture()
+def quick_cell():
+    return harm_grid(seed=0, duration=120.0)[0]
+
+
+class TestCacheKeyTimingIsolation:
+    def test_cell_digest_ignores_wall_clock(self, monkeypatch, quick_cell):
+        digest_before = cell_digest(quick_cell)
+        monkeypatch.setattr(time, "perf_counter", lambda: 1e9)
+        monkeypatch.setattr(time, "time", lambda: 2e9)
+        assert cell_digest(quick_cell) == digest_before
+
+    def test_digest_payload_has_no_timing_fields(self, quick_cell):
+        # The digest is SHA-256 over canonical JSON of exactly these keys;
+        # assert none of them (nor the values) smuggle in a clock reading.
+        payload = {
+            "cache_version": 1,
+            "experiment": quick_cell.experiment,
+            "params": quick_cell.params,
+            "seed": quick_cell.seed,
+        }
+        text = json.dumps(payload, sort_keys=True, default=str).lower()
+        for banned in ("elapsed", "wall", "perf_counter", "timestamp"):
+            assert banned not in text
+
+
+class TestCachedPayloadTimingIsolation:
+    def test_cached_payload_is_bitwise_timing_free(self, tmp_path, quick_cell):
+        """Two runs at different wall-clock speeds cache identical bytes."""
+        runs = {}
+        for label, clock in (("fast", None), ("slow", iter(range(10**6)))):
+            cache_dir = tmp_path / label
+            runner = SweepRunner(jobs=1, cache_dir=cache_dir, log=lambda _line: None)
+            if clock is not None:
+                # Make perf_counter wildly different between the two runs:
+                # if any timing leaked into the payload, bytes would differ.
+                real = time.perf_counter
+                time.perf_counter = lambda it=clock: float(next(it))  # noqa: E731
+                try:
+                    (outcome,) = runner.run([quick_cell])
+                finally:
+                    time.perf_counter = real
+            else:
+                (outcome,) = runner.run([quick_cell])
+            entry = ResultCache(cache_dir).path_for(quick_cell)
+            assert entry.exists()
+            runs[label] = (outcome, entry.read_bytes())
+        assert runs["fast"][1] == runs["slow"][1]
+        assert results_equal(runs["fast"][0].result, runs["slow"][0].result)
+
+    def test_elapsed_lives_outside_the_cached_payload(self, tmp_path, quick_cell):
+        runner = SweepRunner(jobs=1, cache_dir=tmp_path, log=lambda _line: None)
+        (outcome,) = runner.run([quick_cell])
+        assert outcome.elapsed_s >= 0.0  # telemetry exists on the outcome...
+        with open(ResultCache(tmp_path).path_for(quick_cell), "rb") as fh:
+            payload = pickle.load(fh)
+        # ...but the cached object is the bare experiment result: no
+        # SweepOutcome wrapper, no elapsed/wall attributes anywhere on it.
+        assert type(payload).__name__ != "SweepOutcome"
+        for attr in ("elapsed_s", "wall_time_s", "elapsed", "started"):
+            assert not hasattr(payload, attr)
+
+    def test_cache_replay_elapsed_is_fresh_not_recorded(self, tmp_path, quick_cell):
+        runner = SweepRunner(jobs=1, cache_dir=tmp_path, log=lambda _line: None)
+        (computed,) = runner.run([quick_cell])
+        (replayed,) = runner.run([quick_cell])
+        assert replayed.cached
+        # The replay's elapsed_s measures the cache *read*, not the original
+        # compute -- replaying must not resurrect recorded wall time.
+        assert replayed.elapsed_s < computed.elapsed_s
+        assert results_equal(computed.result, replayed.result)

@@ -103,6 +103,70 @@ class TestExport:
         assert "not supported" in capsys.readouterr().err
 
 
+class TestLintCommand:
+    @staticmethod
+    def _tree(tmp_path, body: str):
+        (tmp_path / "pyproject.toml").write_text("[tool.padll-lint]\n")
+        module = tmp_path / "src" / "repro" / "simulation" / "mod.py"
+        module.parent.mkdir(parents=True)
+        module.write_text(body)
+        return str(tmp_path / "pyproject.toml"), str(module)
+
+    def test_listed_in_help(self, capsys):
+        help_text = build_parser().format_help()
+        assert "lint" in help_text
+        assert "static-analysis" in help_text
+
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        config, module = self._tree(tmp_path, "x = 1\n")
+        assert main(["lint", module, "--config", config]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        config, module = self._tree(tmp_path, "import time\nt = time.time()\n")
+        assert main(["lint", module, "--config", config]) == 1
+        out = capsys.readouterr().out
+        assert "DET001" in out
+        assert "time.time" in out
+
+    def test_bad_path_is_usage_error(self, tmp_path, capsys):
+        config, _ = self._tree(tmp_path, "x = 1\n")
+        rc = main(["lint", str(tmp_path / "ghost.py"), "--config", config])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_baseline_is_usage_error(self, tmp_path, capsys):
+        config, module = self._tree(tmp_path, "x = 1\n")
+        rc = main(["lint", module, "--config", config, "--baseline"])
+        assert rc == 2
+        assert "write-baseline" in capsys.readouterr().err
+
+    def test_baseline_round_trip_via_cli(self, tmp_path, capsys):
+        config, module = self._tree(tmp_path, "import time\nt = time.time()\n")
+        assert main(["lint", module, "--config", config, "--write-baseline"]) == 0
+        assert (tmp_path / "lint-baseline.json").exists()
+        capsys.readouterr()
+        assert main(["lint", module, "--config", config, "--baseline"]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_json_format_is_machine_readable(self, tmp_path, capsys):
+        import json
+
+        config, module = self._tree(tmp_path, "import time\nt = time.time()\n")
+        assert main(["lint", module, "--config", config, "--format", "json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is False
+        assert doc["active_by_rule"]["DET001"] == 1
+        assert doc["findings"][0]["rule"] == "DET001"
+
+    def test_self_lint_of_repo_tree(self, capsys):
+        # The committed tree must gate clean through the real CLI path.
+        from pathlib import Path
+
+        pyproject = Path(__file__).resolve().parents[1] / "pyproject.toml"
+        assert main(["lint", "--baseline", "--config", str(pyproject)]) == 0
+
+
 class TestSweepCommand:
     def test_invalid_grid_rejected(self):
         with pytest.raises(SystemExit):
