@@ -4,6 +4,8 @@ Subcommands::
 
     padll-repro trace generate --kind aggregate --seed 0 --out trace.csv
     padll-repro trace stats trace.csv
+    padll-repro trace run --target open --sample-rate 0.05 [--out DIR]
+    padll-repro metrics [--format json]
     padll-repro experiment fig1|fig2|fig4|fig5|overhead|harm|cost-aware
     padll-repro ablation lag|burst|loop
     padll-repro sweep fig4|fig5|ablations|harm|overhead|all [--jobs N]
@@ -57,6 +59,62 @@ def build_parser() -> argparse.ArgumentParser:
 
     stats = trace_sub.add_parser("stats", help="summarise a trace file")
     stats.add_argument("path", help="trace file (.csv or .jsonl)")
+
+    trun = trace_sub.add_parser(
+        "run",
+        help="run an experiment with per-request tracing and render the "
+        "span waterfall + controller-decision timeline",
+    )
+    trun.add_argument(
+        "--target",
+        choices=("open", "close", "getattr", "rename", "metadata"),
+        default="open",
+        help="fig4 metadata panel to trace",
+    )
+    trun.add_argument("--seed", type=int, default=0)
+    trun.add_argument(
+        "--sample-rate",
+        type=float,
+        default=0.05,
+        help="deterministic head-sampling probability in [0, 1]",
+    )
+    trun.add_argument("--duration", type=float, default=240.0)
+    trun.add_argument("--step-period", type=float, default=120.0)
+    trun.add_argument("--drain-tail", type=float, default=60.0)
+    trun.add_argument(
+        "--traces",
+        type=int,
+        default=4,
+        help="sampled traces rendered in the waterfall",
+    )
+    trun.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="also write spans.jsonl, events.jsonl, and metrics.prom to DIR",
+    )
+
+    # -- metrics --------------------------------------------------------------------
+    metrics = sub.add_parser(
+        "metrics",
+        help="run a short instrumented experiment and print the metrics "
+        "registry snapshot",
+    )
+    metrics.add_argument("--seed", type=int, default=0)
+    metrics.add_argument(
+        "--target",
+        choices=("open", "close", "getattr", "rename", "metadata"),
+        default="open",
+    )
+    metrics.add_argument("--duration", type=float, default=120.0)
+    metrics.add_argument("--step-period", type=float, default=60.0)
+    metrics.add_argument("--drain-tail", type=float, default=30.0)
+    metrics.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="Prometheus-style text or the JSON snapshot schema",
+    )
 
     # -- experiments --------------------------------------------------------------
     exp = sub.add_parser("experiment", help="regenerate a paper artefact")
@@ -236,6 +294,109 @@ def _cmd_trace_stats(args: argparse.Namespace) -> int:
             f"  {kind:<10} {shares[kind] * 100:6.2f}%  "
             f"mean {trace.mean_rate(kind) / 1e3:8.1f} KOps/s"
         )
+    return 0
+
+
+def _cmd_trace_run(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.errors import ConfigError
+    from repro.telemetry import (
+        render_controller_timeline,
+        render_waterfall,
+        run_traced_fig4,
+        write_text,
+    )
+
+    out_dir = None
+    if args.out is not None:
+        out_dir = Path(args.out)
+        if out_dir.exists() and not out_dir.is_dir():
+            print(f"error: --out {args.out!r} exists and is not a directory",
+                  file=sys.stderr)
+            return 2
+    try:
+        traced = run_traced_fig4(
+            args.target,
+            seed=args.seed,
+            duration=args.duration,
+            step_period=args.step_period,
+            drain_tail=args.drain_tail,
+            sample_rate=args.sample_rate,
+            trace=True,
+        )
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    spans = [
+        line for line in traced.spans_jsonl.splitlines() if line
+    ]
+    print(
+        f"fig4 [{args.target}] seed {args.seed}: sampled "
+        f"{traced.sampled_traces} trace(s), {traced.span_count} span(s), "
+        f"{traced.event_count} event(s) at rate {args.sample_rate}"
+    )
+    print()
+    from repro.telemetry.trace import Span  # parsed back for rendering
+    import json as _json
+
+    parsed = [
+        Span(
+            trace_id=rec["trace_id"],
+            name=rec["name"],
+            start=rec["start"],
+            end=rec["end"],
+            attrs=rec.get("attrs", {}),
+        )
+        for rec in (_json.loads(line) for line in spans)
+    ]
+    print(render_waterfall(parsed, max_traces=args.traces))
+    print()
+    print(render_controller_timeline(
+        _events_from_jsonl(traced.events_jsonl)
+    ))
+    if out_dir is not None:
+        write_text(out_dir / "spans.jsonl", traced.spans_jsonl)
+        write_text(out_dir / "events.jsonl", traced.events_jsonl)
+        write_text(out_dir / "metrics.prom", traced.metrics_text)
+        print(f"\nwrote {out_dir}/spans.jsonl, events.jsonl, metrics.prom")
+    return 0
+
+
+def _events_from_jsonl(text: str):
+    import json as _json
+
+    from repro.telemetry.events import Event
+
+    return [
+        Event(kind=rec["kind"], time=rec["time"], fields=rec.get("fields", {}))
+        for rec in (_json.loads(line) for line in text.splitlines() if line)
+    ]
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigError
+    from repro.telemetry import run_traced_fig4
+
+    try:
+        traced = run_traced_fig4(
+            args.target,
+            seed=args.seed,
+            duration=args.duration,
+            step_period=args.step_period,
+            drain_tail=args.drain_tail,
+            sample_rate=0.0,
+            trace=False,
+        )
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        import json as _json
+
+        print(_json.dumps(traced.metrics, sort_keys=True, indent=2))
+    else:
+        print(traced.metrics_text, end="")
     return 0
 
 
@@ -471,7 +632,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.command == "trace":
             if args.trace_command == "generate":
                 return _cmd_trace_generate(args)
+            if args.trace_command == "run":
+                return _cmd_trace_run(args)
             return _cmd_trace_stats(args)
+        if args.command == "metrics":
+            return _cmd_metrics(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
         if args.command == "sweep":

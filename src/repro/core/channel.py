@@ -73,6 +73,44 @@ class Channel:
         self._queue: Deque[Request] = deque()
         self._backlog = 0.0
         self.stats = ChannelStats()
+        # Telemetry handles (None = telemetry off; see attach_telemetry).
+        self._h_wait = None
+        self._m_granted = None
+
+    # -- telemetry ---------------------------------------------------------------
+    #: Queue-wait histogram edges (seconds): sub-tick through minutes-long stalls.
+    WAIT_BUCKET_BOUNDS = (0.001, 0.01, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 300.0)
+
+    def attach_telemetry(self, telemetry, stage_id: str) -> None:
+        """Create this channel's metric handles and wire the bucket observer.
+
+        Called by the owning stage when (and only when) the world runs with
+        telemetry; the default path never reaches any of this.
+        """
+        registry = telemetry.registry
+        channel_id = self.channel_id
+        self._m_granted = registry.counter(
+            "padll_channel_granted_ops_total", stage=stage_id, channel=channel_id
+        )
+        self._h_wait = registry.histogram(
+            "padll_channel_queue_wait_seconds",
+            self.WAIT_BUCKET_BOUNDS,
+            stage=stage_id,
+            channel=channel_id,
+        )
+        rate_gauge = registry.gauge(
+            "padll_channel_rate_limit_ops", stage=stage_id, channel=channel_id
+        )
+        rate_gauge.set(self.bucket.rate)
+        events = telemetry.events
+
+        def on_rate_change(rate: float, now: float) -> None:
+            rate_gauge.set(rate)
+            events.emit(
+                "bucket.rate", now, stage=stage_id, channel=channel_id, rate=rate
+            )
+
+        self.bucket.set_observer(on_rate_change)
 
     # -- introspection ---------------------------------------------------------
     @property
@@ -108,14 +146,19 @@ class Channel:
         now: float,
         limit: float = math.inf,
         sink: Optional[Callable[[Request], None]] = None,
+        telemetry=None,
     ) -> float:
         """Release queued work the bucket allows; return ops granted.
 
         ``limit`` optionally bounds the grant below the bucket allowance
         (e.g. downstream file-system capacity).  ``sink`` receives each
         granted request record (batches may be split so that exactly the
-        granted count flows downstream).
+        granted count flows downstream).  With ``telemetry`` the grant
+        loop runs an instrumented copy (identical arithmetic, emits on
+        the side); the default path below is untouched.
         """
+        if telemetry is not None:
+            return self._drain_traced(now, limit, sink, telemetry)
         if limit < 0:
             raise ConfigError(f"drain limit must be >= 0, got {limit}")
         queue = self._queue
@@ -178,6 +221,95 @@ class Channel:
             self._backlog = 0.0  # clamp accumulated float error
         stats.granted_ops += granted
         stats.window_granted += granted
+        return granted
+
+    def _drain_traced(
+        self,
+        now: float,
+        limit: float,
+        sink: Optional[Callable[[Request], None]],
+        telemetry,
+    ) -> float:
+        """Instrumented :meth:`drain`: same floats in the same order.
+
+        The grant/split/refund arithmetic is a verbatim copy of the fast
+        path -- the golden-digest suite runs both and asserts identical
+        bytes -- with queue-wait histogram observes and per-request
+        ``queue.wait`` spans emitted alongside.
+        """
+        if limit < 0:
+            raise ConfigError(f"drain limit must be >= 0, got {limit}")
+        queue = self._queue
+        if not queue or limit == 0:
+            self.bucket.refill(now)
+            return 0.0
+        want = self._backlog
+        if limit < want:
+            want = limit
+        if want < 0.0:
+            want = 0.0
+        allowance = self.bucket.consume_available(want, now)
+        granted = 0.0
+        remaining = allowance
+        popleft = queue.popleft
+        stats = self.stats
+        wait_sum = stats.wait_sum
+        wait_max = stats.wait_max
+        tracer = telemetry.tracer
+        h_wait = self._h_wait
+        channel_id = self.channel_id
+        while remaining > 0 and queue:
+            head = queue[0]
+            wait = now - head.submitted_at
+            if wait < 0.0:
+                wait = 0.0
+            count = head.count
+            if count <= remaining:
+                popleft()
+                remaining -= count
+                granted += count
+                wait_sum += wait * count
+                if wait > wait_max:
+                    wait_max = wait
+                if h_wait is not None:
+                    h_wait.observe(wait, count)
+                if tracer is not None and head.trace is not None:
+                    tracer.emit_span(
+                        head.trace, "queue.wait", head.submitted_at, now,
+                        channel=channel_id, count=count,
+                    )
+                if sink is not None:
+                    sink(head)
+            elif self.integral:
+                break
+            else:
+                taken, rest = head.split(remaining)
+                queue[0] = rest
+                granted += taken.count
+                remaining = 0.0
+                wait_sum += wait * taken.count
+                if wait > wait_max:
+                    wait_max = wait
+                if h_wait is not None:
+                    h_wait.observe(wait, taken.count)
+                if tracer is not None and taken.trace is not None:
+                    tracer.emit_span(
+                        taken.trace, "queue.wait", taken.submitted_at, now,
+                        channel=channel_id, count=taken.count,
+                    )
+                if sink is not None:
+                    sink(taken)
+        stats.wait_sum = wait_sum
+        stats.wait_max = wait_max
+        if remaining > 0:
+            self.bucket.refund(remaining)
+        self._backlog -= granted
+        if not queue:
+            self._backlog = 0.0  # clamp accumulated float error
+        stats.granted_ops += granted
+        stats.window_granted += granted
+        if self._m_granted is not None:
+            self._m_granted.inc(granted)
         return granted
 
     def collect(self) -> tuple[float, float, float]:

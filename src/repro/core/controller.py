@@ -89,6 +89,7 @@ class ControlPlane:
         config: Optional[ControlPlaneConfig] = None,
         algorithm: Optional[AllocationAlgorithm] = None,
         health_probe: Optional[Callable[[], bool]] = None,
+        telemetry=None,
     ) -> None:
         self.fabric = fabric if fabric is not None else InMemoryFabric()
         self.config = config or ControlPlaneConfig()
@@ -113,6 +114,11 @@ class ControlPlane:
         self._missed_collects: Dict[str, int] = {}
         #: Stages evicted by the liveness check: (time, stage_id).
         self.evictions: List[tuple[float, str]] = []
+        #: Telemetry spine (None = introspection off).  When attached, every
+        #: loop iteration appends one ``control.cycle`` event recording what
+        #: the loop saw and what it pushed.
+        self._telemetry = telemetry
+        self._prev_rates: Dict[str, float] = {}
 
     # -- registration -------------------------------------------------------
     def register(
@@ -196,21 +202,36 @@ class ControlPlane:
         """One control-loop iteration: collect -> verify -> enforce."""
         self.loop_iterations += 1
         stats = self._collect(now)
+        telemetry = self._telemetry
         if self.health_probe is not None and not self.health_probe():
             # PFS unhealthy: pause every job's algorithm channel so the
             # outage backlog queues at the stages, not at the recovering
             # server.  Explicit admin policies still apply.
             self.pause_ticks += 1
-            self._enforce_policies(now)
+            policy_rates = self._enforce_policies(now)
+            paused_rates = {}
             for job_id in self._jobs:
                 self._push_job_rate(
                     job_id, self.config.algorithm_channel,
                     self.config.min_rate, now,
                 )
+                paused_rates[job_id] = self.config.min_rate
+            if telemetry is not None:
+                self._emit_cycle(
+                    telemetry, now, stats, None, paused_rates, policy_rates,
+                    paused=True,
+                )
             return
-        self._enforce_policies(now)
+        policy_rates = self._enforce_policies(now)
+        demands = None
+        enforced = None
         if self.algorithm is not None:
-            self._enforce_algorithm(now, stats)
+            demands, enforced = self._enforce_algorithm(now, stats)
+        if telemetry is not None:
+            self._emit_cycle(
+                telemetry, now, stats, demands, enforced, policy_rates,
+                paused=False,
+            )
 
     def _collect(self, now: float) -> Dict[str, StageStats]:
         stats: Dict[str, StageStats] = {}
@@ -234,7 +255,7 @@ class ControlPlane:
                 self._last_stats[stage_id] = result
         return stats
 
-    def _enforce_policies(self, now: float) -> None:
+    def _enforce_policies(self, now: float) -> Dict[tuple[str, str], float]:
         # Resolve conflicts: for each (job, channel) keep the highest-priority
         # enabled policy (ties: later install wins, matching admin intent of
         # "the newest instruction applies").
@@ -249,19 +270,79 @@ class ControlPlane:
                 prev = winners.get(key)
                 if prev is None or rule.priority >= prev.priority:
                     winners[key] = rule
+        pushed: Dict[tuple[str, str], float] = {}
         for (job_id, channel_id), rule in winners.items():
             rate = max(self.config.min_rate, rule.rate_at(now))
+            pushed[(job_id, channel_id)] = rate
             self._push_job_rate(job_id, channel_id, rate, now, rule.burst)
+        return pushed
 
-    def _enforce_algorithm(self, now: float, stats: Dict[str, StageStats]) -> None:
+    def _enforce_algorithm(
+        self, now: float, stats: Dict[str, StageStats]
+    ) -> tuple[Optional[List[JobDemand]], Optional[Dict[str, float]]]:
         demands = self._job_demands(stats)
         if not demands:
-            return
+            return None, None
         allocation = self.algorithm.allocate(demands)
+        enforced: Dict[str, float] = {}
         for job_id, rate in allocation.items():
             rate = max(self.config.min_rate, rate)
+            enforced[job_id] = rate
             self.enforcement_log.append((now, job_id, rate))
             self._push_job_rate(job_id, self.config.algorithm_channel, rate, now)
+        return demands, enforced
+
+    def _emit_cycle(
+        self,
+        telemetry,
+        now: float,
+        stats: Dict[str, StageStats],
+        demands: Optional[List[JobDemand]],
+        enforced: Optional[Dict[str, float]],
+        policy_rates: Dict[tuple[str, str], float],
+        paused: bool,
+    ) -> None:
+        """Append one ``control.cycle`` introspection event.
+
+        Records the loop's whole decision surface: observed per-channel
+        demand/throughput/backlog, the algorithm's inputs, the computed
+        (clamped) rates, and each rate's delta against the previous cycle.
+        Runs only with telemetry attached; the tel-only ``_prev_rates``
+        state never feeds back into enforcement arithmetic.
+        """
+        observed: Dict[str, Dict[str, Dict[str, float]]] = {}
+        for stage_id, st in stats.items():
+            observed[stage_id] = {
+                snap.channel_id: {
+                    "enqueued_rate": st.demand_rate(snap.channel_id),
+                    "granted_rate": st.granted_rate(snap.channel_id),
+                    "backlog": snap.backlog,
+                    "rate_limit": snap.rate_limit,
+                }
+                for snap in st.channels
+            }
+        rates: Dict[str, float] = dict(enforced or {})
+        for (job_id, channel_id), rate in policy_rates.items():
+            rates[f"{job_id}:{channel_id}"] = rate
+        prev = self._prev_rates
+        deltas = {target: rate - prev.get(target, 0.0) for target, rate in rates.items()}
+        self._prev_rates = rates
+        telemetry.events.emit(
+            "control.cycle",
+            now,
+            iteration=self.loop_iterations,
+            paused=paused,
+            observed=observed,
+            demand={d.job_id: d.demand for d in demands} if demands else {},
+            reservations={d.job_id: d.reservation for d in demands} if demands else {},
+            algorithm=type(self.algorithm).__name__ if self.algorithm else None,
+            rates=dict(enforced or {}),
+            policy_rates={
+                f"{job_id}:{channel_id}": rate
+                for (job_id, channel_id), rate in policy_rates.items()
+            },
+            deltas=deltas,
+        )
 
     def _job_demands(self, stats: Dict[str, StageStats]) -> List[JobDemand]:
         """Aggregate per-stage windows into per-job demand signals.

@@ -206,6 +206,9 @@ class Request:
     #: Delivery sinks consult this before falling back to the per-op table;
     #: batch producers that already know the kind set it to skip the lookup.
     kind_hint: Optional[str] = field(default=None, compare=False, repr=False)
+    #: Telemetry trace context (``repro.telemetry.trace.TraceContext``) when
+    #: this request was head-sampled; ``None`` for the (default) untraced case.
+    trace: Optional[object] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.count <= 0:
@@ -229,11 +232,13 @@ class Request:
             self.op, self.path, self.job_id, first,
             size=self.size, pid=self.pid, tenant=self.tenant,
             submitted_at=self.submitted_at, kind_hint=self.kind_hint,
+            trace=self.trace,
         )
         tail = batch_request(
             self.op, self.path, self.job_id, self.count - first,
             size=self.size, pid=self.pid, tenant=self.tenant,
             submitted_at=self.submitted_at, kind_hint=self.kind_hint,
+            trace=self.trace,
         )
         return head, tail
 
@@ -251,6 +256,7 @@ def batch_request(
     tenant: str = "",
     submitted_at: float = 0.0,
     kind_hint: Optional[str] = None,
+    trace: Optional[object] = None,
 ) -> Request:
     """Allocate a :class:`Request` without dataclass-init overhead.
 
@@ -269,4 +275,5 @@ def batch_request(
     request.tenant = tenant
     request.submitted_at = submitted_at
     request.kind_hint = kind_hint
+    request.trace = trace
     return request

@@ -121,6 +121,7 @@ class DataPlaneStage:
         identity: StageIdentity,
         sink: Callable[[Request], None],
         config: Optional[StageConfig] = None,
+        telemetry=None,
     ) -> None:
         self.identity = identity
         self.config = config or StageConfig()
@@ -135,6 +136,34 @@ class DataPlaneStage:
         self._passthrough_window = 0.0
         self._passthrough_total = 0.0
         self._last_collect = 0.0
+        self._telemetry = None
+        self._m_enforced = None
+        self._m_passthrough = None
+        if telemetry is not None:
+            self.attach_telemetry(telemetry)
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Wire this stage (and its channels) into a telemetry spine.
+
+        Handle creation happens once here so the per-request cost of an
+        enabled metric is one counter add; with telemetry detached
+        (``None``) the data path only ever pays an ``is None`` check.
+        """
+        self._telemetry = telemetry
+        if telemetry is None:
+            self._m_enforced = None
+            self._m_passthrough = None
+            return
+        registry = telemetry.registry
+        stage_id = self.identity.stage_id
+        self._m_enforced = registry.counter(
+            "padll_stage_enforced_ops_total", stage=stage_id
+        )
+        self._m_passthrough = registry.counter(
+            "padll_stage_passthrough_ops_total", stage=stage_id
+        )
+        for channel in self._channel_list:
+            channel.attach_telemetry(telemetry, stage_id)
 
     # -- channel management (control-plane driven) ---------------------------
     @property
@@ -158,6 +187,8 @@ class DataPlaneStage:
         )
         self._channels[channel_id] = channel
         self._channel_list.append(channel)
+        if self._telemetry is not None:
+            channel.attach_telemetry(self._telemetry, self.identity.stage_id)
         return channel
 
     def remove_channel(self, channel_id: str) -> None:
@@ -202,10 +233,26 @@ class DataPlaneStage:
         """Intercept one request: classify, then enqueue or pass through."""
         request.job_id = request.job_id or self.identity.job_id
         decision = self.classifier.classify(request)
+        telemetry = self._telemetry
         if decision.enforced:
             assert decision.channel_id is not None
+            if telemetry is not None:
+                self._m_enforced.inc(request.count)
+                tracer = telemetry.tracer
+                if tracer is not None:
+                    ctx = tracer.sample()
+                    if ctx is not None:
+                        request.trace = ctx
+                        tracer.emit_point(
+                            ctx, "stage.submit", now,
+                            op=request.op.value,
+                            channel=decision.channel_id,
+                            count=request.count,
+                        )
             self._channel(decision.channel_id).enqueue(request, now)
         else:
+            if telemetry is not None:
+                self._m_passthrough.inc(request.count)
             self._passthrough_window += request.count
             self._passthrough_total += request.count
             self._sink(request)
@@ -221,12 +268,13 @@ class DataPlaneStage:
         """
         total = 0.0
         remaining = limit
+        telemetry = self._telemetry
         for channel in self._channel_list:
             if remaining <= 0:
                 # Still refill the bucket so allowance accrues correctly.
                 channel.bucket.refill(now)
                 continue
-            granted = channel.drain(now, remaining, self._sink)
+            granted = channel.drain(now, remaining, self._sink, telemetry)
             total += granted
             remaining -= granted
         return total
@@ -246,11 +294,12 @@ class DataPlaneStage:
         total = 0.0
         remaining = limit
         append = grants.append
+        telemetry = self._telemetry
         for channel in self._channel_list:
             if remaining <= 0:
                 channel.bucket.refill(now)
                 continue
-            granted = channel.drain(now, remaining, append)
+            granted = channel.drain(now, remaining, append, telemetry)
             total += granted
             remaining -= granted
         return total
@@ -285,6 +334,17 @@ class DataPlaneStage:
         passthrough = self._passthrough_window
         self._passthrough_window = 0.0
         self._last_collect = now
+        telemetry = self._telemetry
+        if telemetry is not None:
+            # Control-plane frequency (~1 Hz): registry interning here is
+            # cheaper than carrying per-channel gauge handles on the stage.
+            registry = telemetry.registry
+            stage_id = self.identity.stage_id
+            for snapshot in snapshots:
+                registry.gauge(
+                    "padll_channel_backlog_ops",
+                    stage=stage_id, channel=snapshot.channel_id,
+                ).set(snapshot.backlog)
         return StageStats(
             stage_id=self.identity.stage_id,
             job_id=self.identity.job_id,

@@ -41,7 +41,7 @@ class TokenBucket:
         Starting balance; defaults to a full bucket.
     """
 
-    __slots__ = ("_rate", "_capacity", "_tokens", "_timestamp")
+    __slots__ = ("_rate", "_capacity", "_tokens", "_timestamp", "_observer")
 
     def __init__(
         self,
@@ -67,6 +67,7 @@ class TokenBucket:
             )
         self._tokens = float(initial)
         self._timestamp = float(now)
+        self._observer = None
 
     # -- configuration -------------------------------------------------------
     @property
@@ -102,6 +103,16 @@ class TokenBucket:
             self._tokens = min(self._tokens, self._capacity)
         elif math.isinf(self._rate):
             self._tokens = math.inf
+        if self._observer is not None:
+            self._observer(self._rate, now)
+
+    def set_observer(self, observer) -> None:
+        """Install a ``(rate, now)`` callback fired after each re-provision.
+
+        Telemetry uses this to record rate-limit changes at control-plane
+        frequency; the consume/refill hot paths never touch the observer.
+        """
+        self._observer = observer
 
     # -- balance --------------------------------------------------------------
     def tokens(self, now: float) -> float:

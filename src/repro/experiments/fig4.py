@@ -108,8 +108,9 @@ def _build_world(
     limits: Optional[Tuple[float, ...]],
     step_period: float,
     trace=None,
+    telemetry=None,
 ) -> ReplayWorld:
-    world = ReplayWorld(setup, sample_period=5.0)
+    world = ReplayWorld(setup, sample_period=5.0, telemetry=telemetry)
     if trace is None:
         trace = generate_mdt_trace(seed=seed)
     single = target != "metadata"
@@ -140,27 +141,38 @@ def run_fig4_metadata(
     duration: float = 1800.0,
     step_period: float = 360.0,
     drain_tail: float = 300.0,
+    telemetry_factory=None,
 ) -> Fig4Result:
-    """One metadata panel of Fig. 4 (a single op type, or the class)."""
+    """One metadata panel of Fig. 4 (a single op type, or the class).
+
+    ``telemetry_factory(setup_name)`` (optional) returns the
+    :class:`~repro.telemetry.Telemetry` spine for each setup's world (or
+    ``None`` to leave that world uninstrumented); telemetry never touches
+    the simulated arithmetic, so results are bit-identical either way.
+    """
     if target not in METADATA_TARGETS:
         raise ConfigError(
             f"target must be one of {METADATA_TARGETS}, got {target!r}"
         )
     total = duration + drain_tail
+    tel = telemetry_factory if telemetry_factory is not None else lambda name: None
     # The three setups replay the identical fixed-seed trace; generate it
     # once and share it (replayers never mutate the trace they read).
     trace = generate_mdt_trace(seed=seed)
     baseline = _build_world(
-        Setup.BASELINE, target, seed, None, step_period, trace=trace
+        Setup.BASELINE, target, seed, None, step_period, trace=trace,
+        telemetry=tel("baseline"),
     ).run(total)
     base_times, base_rates = baseline.job_rate_series("job1")
     n_steps = max(1, int(np.ceil(duration / step_period)))
     limits = derive_step_limits(base_rates[base_times < duration], n_steps)
     passthrough = _build_world(
-        Setup.PASSTHROUGH, target, seed, None, step_period, trace=trace
+        Setup.PASSTHROUGH, target, seed, None, step_period, trace=trace,
+        telemetry=tel("passthrough"),
     ).run(total)
     padll = _build_world(
-        Setup.PADLL, target, seed, limits, step_period, trace=trace
+        Setup.PADLL, target, seed, limits, step_period, trace=trace,
+        telemetry=tel("padll"),
     ).run(total)
     series = {
         "baseline": baseline.job_rate_series("job1"),

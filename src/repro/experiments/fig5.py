@@ -109,8 +109,13 @@ def run_fig5(
     setup_name: str = "proportional",
     seed: int = 0,
     duration: float = 3600.0,
+    telemetry=None,
 ) -> Fig5Result:
-    """Run one Fig. 5 setup to completion (or ``duration``)."""
+    """Run one Fig. 5 setup to completion (or ``duration``).
+
+    ``telemetry`` (optional) instruments the world; the simulated
+    arithmetic is untouched, so results are bit-identical either way.
+    """
     algorithm = _algorithm_for(setup_name)
     setup = Setup.BASELINE if algorithm is None else Setup.PADLL
     world = ReplayWorld(
@@ -118,6 +123,7 @@ def run_fig5(
         sample_period=10.0,
         loop_interval=1.0,
         algorithm=algorithm,
+        telemetry=telemetry,
     )
     trace = generate_mdt_trace(seed=seed)
     for i in range(N_JOBS):

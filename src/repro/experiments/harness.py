@@ -189,6 +189,7 @@ class ReplayWorld:
         algorithm_channel: str = "metadata",
         fabric_factory=None,
         health_aware: bool = False,
+        telemetry=None,
     ) -> None:
         if dt <= 0:
             raise ConfigError(f"dt must be positive, got {dt}")
@@ -197,13 +198,22 @@ class ReplayWorld:
         self.setup = setup
         self.dt = float(dt)
         self.sample_period = float(sample_period)
-        self.env = Environment()
+        self.telemetry = telemetry
+        # Tracing rides the legacy per-request pipeline (proven bit-identical
+        # to the fused batch paths by the tier-1 suite) so spans open and
+        # close where requests actually flow; metrics-only telemetry keeps
+        # the fused paths, whose instrumented variants emit on the side.
+        self._traced = telemetry is not None and telemetry.tracer is not None
+        self.env = Environment(telemetry=telemetry)
         self.cluster = LustreCluster(
             ClusterConfig(
                 mds=MDSConfig(capacity=mds_capacity, can_fail=mds_can_fail)
             )
         )
         self.cluster.set_clock(lambda: self.env.now)
+        if telemetry is not None:
+            for mds in self.cluster.mds_servers:
+                mds.attach_telemetry(telemetry)
         # ``fabric_factory(env)`` lets experiments interpose a custom RPC
         # fabric (e.g. delayed enforcement for the control-lag ablation).
         fabric = fabric_factory(self.env) if fabric_factory is not None else None
@@ -213,6 +223,7 @@ class ReplayWorld:
                 loop_interval=loop_interval, algorithm_channel=algorithm_channel
             ),
             algorithm=algorithm,
+            telemetry=telemetry,
         )
         if health_aware:
             # The control plane's global visibility includes PFS health:
@@ -538,6 +549,7 @@ class ReplayWorld:
                     ),
                     sink=lambda req, rt=runtime: self._deliver(rt, req),
                     config=StageConfig(pfs_mounts=(PFS_MOUNT,)),
+                    telemetry=self.telemetry,
                 )
                 self._build_channels(stage, spec, unlimited)
                 runtime.stages.append(stage)
@@ -562,6 +574,10 @@ class ReplayWorld:
                         )
                         stage.submit(part, self.env.now)
 
+        if self._traced:
+            # Per-request submission so every request passes the stage's
+            # sampling point (the fused batch submit bypasses it).
+            batch_submit = None
         kinds = spec.kinds
         replayer = TraceReplayer(
             spec.trace,
@@ -627,6 +643,15 @@ class ReplayWorld:
 
     # -- per-tick housekeeping ----------------------------------------------------
     def _drain_tick(self, now: float) -> None:
+        if self._traced:
+            # Per-grant sinking: grants flow through ``_deliver`` and the
+            # PFS client so sampled trace contexts reach the MDS queue.
+            for runtime in self._jobs.values():
+                for stage in runtime.stages:
+                    stage.drain(now)
+            self.cluster.service(now, self.dt)
+            self._check_completions(now)
+            return
         grants: List[Request] = []
         for runtime in self._jobs.values():
             for stage in runtime.stages:
@@ -660,7 +685,13 @@ class ReplayWorld:
     def run(self, duration: float) -> WorldResult:
         if duration <= 0:
             raise ConfigError(f"duration must be positive, got {duration}")
+        if self.collector is not None:
+            # Running a world twice would register every probe a second
+            # time and double-count each sampled series.
+            raise ConfigError("a ReplayWorld can only be run once")
         self._client = self.cluster.new_client()
+        if self.telemetry is not None:
+            self._client.attach_telemetry(self.telemetry)
         # All three run deferred so that within any instant they observe
         # the replayers' submissions for that tick: jobs submit, stages
         # drain, the control loop runs, the collector samples.
@@ -675,7 +706,14 @@ class ReplayWorld:
             name="control-loop",
             defer=2,
         )
-        self.collector = Collector(self.env, period=self.sample_period, defer=3)
+        self.collector = Collector(
+            self.env,
+            period=self.sample_period,
+            defer=3,
+            registry=(
+                self.telemetry.registry if self.telemetry is not None else None
+            ),
+        )
         mds = self.cluster.mds_servers[0]
         self.collector.add_probe(Collector.mds_probe("mds", mds))
         for job_id, runtime in self._jobs.items():

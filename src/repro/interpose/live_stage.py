@@ -57,6 +57,7 @@ class LiveStage:
         identity: StageIdentity,
         pfs_mounts: Optional[Sequence[str]] = None,
         clock: Callable[[], float] = time.monotonic,
+        telemetry=None,
     ) -> None:
         self.identity = identity
         self.classifier = Classifier(pfs_mounts=pfs_mounts)
@@ -66,6 +67,26 @@ class LiveStage:
         self._passthrough_total = 0.0
         self._passthrough_window = 0.0
         self._last_collect = clock()
+        self._telemetry = None
+        self._m_throttled = None
+        if telemetry is not None:
+            self.attach_telemetry(telemetry)
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Wire the live data path into a telemetry spine.
+
+        The live layer runs on real application threads, so spans are
+        stamped from this stage's wall clock -- the one place in the tree
+        where telemetry timestamps do not come from a simulation clock.
+        """
+        self._telemetry = telemetry
+        self._m_throttled = (
+            None
+            if telemetry is None
+            else telemetry.registry.counter(
+                "padll_live_throttled_ops_total", stage=self.identity.stage_id
+            )
+        )
 
     # -- control-plane surface (mirrors DataPlaneStage) -------------------------
     def create_channel(
@@ -112,6 +133,25 @@ class LiveStage:
         if decision.enforced:
             assert decision.channel_id is not None
             channel = self._channel(decision.channel_id)
+            telemetry = self._telemetry
+            if telemetry is not None:
+                self._m_throttled.inc(request.count)
+                tracer = telemetry.tracer
+                if tracer is not None:
+                    with self._lock:
+                        ctx = tracer.sample()
+                    if ctx is not None:
+                        start = self._clock()
+                        channel.bucket.acquire(request.count)
+                        end = self._clock()
+                        channel.record(request.count)
+                        with self._lock:
+                            tracer.emit_span(
+                                ctx, "live.throttle", start, end,
+                                channel=decision.channel_id,
+                                count=request.count,
+                            )
+                        return decision
             channel.bucket.acquire(request.count)
             channel.record(request.count)
         else:

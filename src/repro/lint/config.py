@@ -40,6 +40,7 @@ class LintConfig:
         "repro.experiments",
         "repro.workloads",
         "repro.runner",
+        "repro.telemetry",
     )
     #: Module prefixes holding the LD_PRELOAD-analogue shim (INT001 scope).
     interpose_layers: Tuple[str, ...] = ("repro.interpose",)

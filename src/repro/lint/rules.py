@@ -414,6 +414,61 @@ class MutableDefaultRule(Rule):
 
 
 # --------------------------------------------------------------------------
+# DET006 -- telemetry emits computing their own timestamps
+# --------------------------------------------------------------------------
+
+#: Telemetry emit surface -> (positional index, keyword name) of every
+#: timestamp parameter.  Matches repro.telemetry's Tracer.emit_span /
+#: Tracer.emit_point / EventLog.emit signatures.
+_TELEMETRY_EMIT_SLOTS: Dict[str, Tuple[Tuple[int, str], ...]] = {
+    "emit": ((1, "now"),),
+    "emit_point": ((2, "now"),),
+    "emit_span": ((2, "start"), (3, "end")),
+}
+
+
+class TelemetryClockRule(Rule):
+    id = "DET006"
+    summary = "telemetry emit with a missing or computed timestamp"
+
+    def applies(self, ctx: LintContext) -> bool:
+        return ctx.in_deterministic_layer()
+
+    def check(self, node: ast.AST, ctx: LintContext) -> None:
+        if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+            return
+        slots = _TELEMETRY_EMIT_SLOTS.get(node.func.attr)
+        if slots is None:
+            return
+        for index, kw_name in slots:
+            expr: Optional[ast.AST] = (
+                node.args[index] if index < len(node.args) else None
+            )
+            if expr is None:
+                for keyword in node.keywords:
+                    if keyword.arg == kw_name:
+                        expr = keyword.value
+                        break
+            if expr is None:
+                ctx.emit(
+                    self.id,
+                    node,
+                    f".{node.func.attr}() without an explicit {kw_name!r} "
+                    f"timestamp in a deterministic layer; pass the caller's "
+                    f"sim-clock value so telemetry never invents time",
+                )
+            elif isinstance(expr, ast.Call):
+                ctx.emit(
+                    self.id,
+                    expr,
+                    f".{node.func.attr}() computes its {kw_name!r} timestamp "
+                    f"inline; in a deterministic layer telemetry must be "
+                    f"stamped from the simulation clock the caller already "
+                    f"holds (env.now / the tick's now), never a fresh call",
+                )
+
+
+# --------------------------------------------------------------------------
 # INT001 -- interpose layer calling a patchable entry point directly
 # --------------------------------------------------------------------------
 
@@ -491,6 +546,7 @@ RULES: Tuple[Rule, ...] = (
     UnorderedIterationRule(),
     IdentityKeyRule(),
     MutableDefaultRule(),
+    TelemetryClockRule(),
     InterposeReentryRule(),
 )
 

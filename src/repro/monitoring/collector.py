@@ -43,11 +43,20 @@ class Collector:
         period: float = 1.0,
         start: float = 0.0,
         defer: int = 0,
+        registry=None,
     ) -> None:
         if period <= 0:
             raise ConfigError(f"collector period must be positive, got {period}")
         self.env = env
         self.period = float(period)
+        # Series live in a metrics registry so a telemetry spine sees the
+        # collector's samples; without one the collector owns a private
+        # registry and behaves exactly as before.
+        if registry is None:
+            from repro.telemetry.registry import MetricsRegistry
+
+            registry = MetricsRegistry()
+        self.registry = registry
         self._probes: Dict[str, Probe] = {}
         self.series: Dict[str, TimeSeries] = {}
         #: probe name -> suffix -> series, resolved once instead of a
@@ -74,7 +83,7 @@ class Collector:
     def _series(self, key: str) -> TimeSeries:
         series = self.series.get(key)
         if series is None:
-            series = TimeSeries(name=key)
+            series = self.registry.timeseries(key)
             self.series[key] = series
         return series
 

@@ -20,7 +20,12 @@ from typing import Any, Callable, Dict, Mapping, Optional
 
 from repro import __version__
 from repro.perfbench.endtoend import bench_fig4
-from repro.perfbench.micro import bench_classifier, bench_engine, bench_stage
+from repro.perfbench.micro import (
+    bench_classifier,
+    bench_engine,
+    bench_stage,
+    bench_telemetry,
+)
 from repro.perfbench.sweepbench import bench_sweep
 
 __all__ = [
@@ -192,6 +197,10 @@ def run_perfbench(
         "classifier_decisions_per_sec": (
             "decisions/s",
             lambda: bench_classifier(n_ops=max(1000, int(500_000 * scale))),
+        ),
+        "telemetry_off_stage_ops_per_sec": (
+            "ops/s",
+            lambda: bench_telemetry(n_ops=max(1000, int(200_000 * scale))),
         ),
         "fig4_sim_seconds_per_sec": (
             "sim-s/s",

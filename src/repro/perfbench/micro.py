@@ -17,7 +17,7 @@ from repro.core.stage import DataPlaneStage, StageConfig, StageIdentity
 from repro.simulation.engine import Environment
 from repro.simulation.ticker import Ticker
 
-__all__ = ["bench_engine", "bench_stage", "bench_classifier"]
+__all__ = ["bench_engine", "bench_stage", "bench_classifier", "bench_telemetry"]
 
 
 def _engine_scenario(duration: float) -> int:
@@ -89,11 +89,12 @@ _STAGE_OPS = (
 )
 
 
-def _build_stage() -> DataPlaneStage:
+def _build_stage(telemetry=None) -> DataPlaneStage:
     stage = DataPlaneStage(
         StageIdentity("bench-stage", "bench-job"),
         sink=lambda request: None,
         config=StageConfig(pfs_mounts=("/pfs",)),
+        telemetry=telemetry,
     )
     stage.create_channel("meta", rate=1e9)
     stage.create_channel("data", rate=1e9)
@@ -150,6 +151,42 @@ def bench_stage(n_ops: int = 200_000, drain_every: int = 64) -> Dict[str, float]
         "work": float(n_ops),
         "elapsed_s": elapsed,
         "residual_backlog": stage.backlog(),
+    }
+
+
+def bench_telemetry(n_ops: int = 200_000, drain_every: int = 64) -> Dict[str, float]:
+    """Telemetry off-path cost: stage ops/sec with the spine detached.
+
+    ``value`` is the disabled (telemetry=None) throughput -- the number the
+    <2% off-path overhead budget is judged against, by comparing it to the
+    plain ``stage_ops_per_sec`` benchmark of the same report.  The detail
+    also records the *enabled* cost (metrics + tracing at a 1% sample
+    rate) so the trajectory shows what turning telemetry on buys.
+    """
+    from repro.telemetry import Telemetry, TelemetryConfig
+
+    def run(telemetry) -> float:
+        stage = _build_stage(telemetry)
+        ops = _STAGE_OPS
+        n_kinds = len(ops)
+        start = time.perf_counter()
+        now = 0.0
+        for i in range(n_ops):
+            op, path = ops[i % n_kinds]
+            stage.submit(Request(op=op, path=path, job_id="bench-job"), now)
+            if i % drain_every == drain_every - 1:
+                now += 1e-3
+                stage.drain(now)
+        stage.drain(now + 1.0)
+        return n_ops / (time.perf_counter() - start)
+
+    off = run(None)
+    enabled = run(Telemetry(TelemetryConfig(seed=0, sample_rate=0.01, trace=True)))
+    return {
+        "value": off,
+        "work": float(n_ops),
+        "enabled_ops_per_sec": enabled,
+        "enabled_overhead_fraction": (off - enabled) / off if off > 0 else 0.0,
     }
 
 

@@ -27,10 +27,23 @@ class PFSClient:
         self.failed_ops = 0.0
         self.submitted_ops = 0.0
         self._clock: Callable[[], float] = lambda: 0.0
+        self._telemetry = None
+        self._m_failed = None
 
     def set_clock(self, clock: Callable[[], float]) -> None:
         """Attach the simulation clock (requests are stamped on arrival)."""
         self._clock = clock
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Wire delivery-failure accounting into a telemetry spine."""
+        self._telemetry = telemetry
+        self._m_failed = (
+            None
+            if telemetry is None
+            else telemetry.registry.counter(
+                "padll_client_failed_ops_total", client=self.name
+            )
+        )
 
     def submit(self, request: Request) -> None:
         """Deliver one request (or batch) to the file system."""
@@ -57,9 +70,21 @@ class PFSClient:
         if mds is None:
             self.failed_ops += count
             self.cluster.buffer_for_replay(kind, count)
+            self._note_failure(kind, count, now)
             return
         try:
-            mds.offer(kind, count, now)
+            # The trace context (if this request was head-sampled) rides
+            # into the MDS queue so service can close the span.
+            mds.offer(kind, count, now, request.trace)
         except MDSUnavailable:
             self.failed_ops += count
             self.cluster.buffer_for_replay(kind, count)
+            self._note_failure(kind, count, now)
+
+    def _note_failure(self, kind: str, count: float, now: float) -> None:
+        if self._telemetry is None:
+            return
+        self._m_failed.inc(count)
+        self._telemetry.events.emit(
+            "client.mds_unavailable", now, client=self.name, kind=kind, count=count
+        )

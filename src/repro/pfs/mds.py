@@ -78,7 +78,9 @@ class MDSConfig:
 # reads beat any class (slots included) on both construction and access.
 # ``slot`` is the kind's interned window/served index (see _window_slot),
 # resolved at offer time so the service loop runs without dict lookups.
-_B_SLOT, _B_COUNT, _B_COST, _B_ARRIVED = 0, 1, 2, 3
+# A head-sampled batch appends its trace context as an optional 5th slot;
+# only the instrumented service loop ever looks for it.
+_B_SLOT, _B_COUNT, _B_COST, _B_ARRIVED, _B_TRACE = 0, 1, 2, 3, 4
 
 
 class MetadataServer:
@@ -115,6 +117,29 @@ class MetadataServer:
         #: Sum of (completion latency * ops) for mean-latency reporting.
         self._latency_ops = 0.0
         self._latency_sum = 0.0
+        # Telemetry spine (None = off; the default service() path is then
+        # byte-for-byte the uninstrumented loop below).
+        self._telemetry = None
+        self._m_served = None
+        self._h_latency = None
+
+    # -- telemetry ---------------------------------------------------------------
+    #: Service-latency histogram edges (seconds): tick-granular queueing
+    #: through failure-scale stalls.
+    LATENCY_BUCKET_BOUNDS = (0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0, 600.0)
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Create this server's metric handles (None detaches)."""
+        self._telemetry = telemetry
+        if telemetry is None:
+            self._m_served = None
+            self._h_latency = None
+            return
+        registry = telemetry.registry
+        self._m_served = registry.counter("padll_mds_served_ops_total", mds=self.name)
+        self._h_latency = registry.histogram(
+            "padll_mds_service_latency_seconds", self.LATENCY_BUCKET_BOUNDS, mds=self.name
+        )
 
     # -- state inspection ------------------------------------------------------
     @property
@@ -171,8 +196,14 @@ class MetadataServer:
         return index
 
     # -- fluid path -------------------------------------------------------------
-    def offer(self, kind: str, count: float, now: float) -> None:
-        """Enqueue ``count`` operations of ``kind`` arriving at ``now``."""
+    def offer(self, kind: str, count: float, now: float, ctx=None) -> None:
+        """Enqueue ``count`` operations of ``kind`` arriving at ``now``.
+
+        ``ctx`` optionally carries a telemetry trace context; the batch
+        then gets a 5th slot the instrumented service loop closes an
+        ``mds.service`` span from.  Queueing arithmetic is identical
+        either way.
+        """
         if self.failed:
             raise MDSUnavailable(f"{self.name} has failed")
         if count <= 0:
@@ -187,7 +218,10 @@ class MetadataServer:
         slot = self._window_index.get(kind)
         if slot is None:
             slot = self._window_slot(kind)
-        self._queue.append([slot, count, cost, now])
+        if ctx is None:
+            self._queue.append([slot, count, cost, now])
+        else:
+            self._queue.append([slot, count, cost, now, ctx])
         self._queued_units += cost * count
 
     def service(self, now: float, dt: float) -> float:
@@ -198,6 +232,8 @@ class MetadataServer:
         degraded rate for its whole duration (conservative, and stable
         under any tick size).
         """
+        if self._telemetry is not None:
+            return self._service_traced(now, dt)
         if dt <= 0:
             raise ConfigError(f"service dt must be positive, got {dt}")
         if self.failed:
@@ -256,22 +292,114 @@ class MetadataServer:
             self._queued_units = 0.0
         return served_ops
 
+    def _service_traced(self, now: float, dt: float) -> float:
+        """Instrumented :meth:`service`: same floats in the same order.
+
+        A verbatim copy of the fast drain loop (the golden-digest suite
+        holds it to bit-identity) plus, on the side: a served-ops counter,
+        a per-batch service-latency histogram, and -- for head-sampled
+        batches carrying a 5th slot -- an ``mds.service`` span closed at
+        the instant the batch finishes draining, followed by a ``reply``
+        point.
+        """
+        if dt <= 0:
+            raise ConfigError(f"service dt must be positive, got {dt}")
+        if self.failed:
+            return 0.0
+        self._update_degradation(now, dt)
+        if self.failed:
+            return 0.0
+        rate = self.config.capacity
+        if self.degraded:
+            rate *= self.config.degrade_factor
+        budget = rate * dt
+        served_ops = 0.0
+        queue = self._queue
+        popleft = queue.popleft
+        queued_units = self._queued_units
+        served_buf = self._served_buf
+        window_buf = self._window_buf
+        window_touched = self._window_touched
+        latency_ops = self._latency_ops
+        latency_sum = self._latency_sum
+        h_latency = self._h_latency
+        tracer = self._telemetry.tracer
+        kinds = self._window_kinds
+        while budget > 1e-12 and queue:
+            head = queue[0]
+            count = head[1]
+            cost_per_op = head[2]
+            head_units = cost_per_op * count
+            finished = head_units <= budget
+            if finished:
+                popleft()
+                budget -= head_units
+                queued_units -= head_units
+            else:
+                count = budget / cost_per_op
+                head[1] -= count
+                queued_units -= budget
+                budget = 0.0
+            slot = head[0]
+            latency = now - head[3]
+            if latency < 0.0:
+                latency = 0.0
+            served_buf[slot] += count
+            accumulated = window_buf[slot]
+            if accumulated == 0.0:
+                window_touched.append(slot)
+            window_buf[slot] = accumulated + count
+            latency_ops += count
+            latency_sum += latency * count
+            served_ops += count
+            if h_latency is not None:
+                h_latency.observe(latency, count)
+            if finished and tracer is not None and len(head) == 5:
+                ctx = head[4]
+                tracer.emit_span(
+                    ctx, "mds.service", head[3], now,
+                    mds=self.name, kind=kinds[slot], count=count,
+                )
+                tracer.emit_point(ctx, "reply", now, mds=self.name)
+        self._queued_units = queued_units
+        self._latency_ops = latency_ops
+        self._latency_sum = latency_sum
+        if self._m_served is not None:
+            self._m_served.inc(served_ops)
+        # Clamp accumulated float error.
+        if not queue:
+            self._queued_units = 0.0
+        return served_ops
+
     def _update_degradation(self, now: float, dt: float) -> None:
         if self.queue_delay > self.config.degrade_after:
             if self._degraded_since is None:
                 self._degraded_since = now
+                if self._telemetry is not None:
+                    self._telemetry.events.emit(
+                        "mds.degraded", now, mds=self.name,
+                        queue_delay=self.queue_delay,
+                    )
             elif (
                 self.config.can_fail
                 and now - self._degraded_since >= self.config.fail_after
             ):
                 self.fail(now)
         else:
+            if self._degraded_since is not None and self._telemetry is not None:
+                self._telemetry.events.emit(
+                    "mds.degradation_cleared", now, mds=self.name
+                )
             self._degraded_since = None
 
     def fail(self, now: float) -> None:
         """Crash the server; queued operations are lost."""
         self.failed = True
         self.failed_at = now
+        if self._telemetry is not None:
+            self._telemetry.events.emit(
+                "mds.failed", now, mds=self.name, lost_units=self._queued_units
+            )
         self._queue.clear()
         self._queued_units = 0.0
         self._degraded_since = None

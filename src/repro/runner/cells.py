@@ -86,6 +86,12 @@ def _run_fig5(seed: int, **params: Any):
     return run_fig5(seed=seed, **params)
 
 
+def _run_fig4_traced(seed: int, **params: Any):
+    from repro.telemetry.experiment import run_traced_fig4
+
+    return run_traced_fig4(seed=seed, **params)
+
+
 def _run_ablation_lag(seed: int, **params: Any):
     from repro.experiments.ablations import sweep_control_lag
 
@@ -120,6 +126,7 @@ def _run_overhead_sim(seed: int, **params: Any):
 
 EXPERIMENTS: Dict[str, Callable[..., Any]] = {
     "fig4-metadata": _run_fig4_metadata,
+    "fig4-traced": _run_fig4_traced,
     "fig5": _run_fig5,
     "ablation-lag": _run_ablation_lag,
     "ablation-burst": _run_ablation_burst,

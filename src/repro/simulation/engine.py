@@ -312,10 +312,15 @@ class AllOf(_Condition):
 class Environment:
     """Owner of the simulated clock and the pending-event heap."""
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    def __init__(self, initial_time: float = 0.0, telemetry=None) -> None:
         self._now = float(initial_time)
         self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = 0
+        #: Telemetry spine (``repro.telemetry.runtime.Telemetry`` or None).
+        #: With it attached, :meth:`run` takes an instrumented dispatch loop
+        #: that counts call/event dispatches; detached (the default) the
+        #: fast loops below are untouched.
+        self._telemetry = telemetry
 
     @property
     def now(self) -> float:
@@ -419,6 +424,8 @@ class Environment:
         single entry of every experiment, so call overhead here is a
         first-order cost.
         """
+        if self._telemetry is not None:
+            return self._run_instrumented(until)
         heap = self._heap
         pop = heapq.heappop
         if until is None:
@@ -454,6 +461,64 @@ class Environment:
             elif not item._ok and not isinstance(item._value, ProcessKilled):
                 raise item._value
         self._now = float(until)
+
+    def _run_instrumented(self, until: Optional[float]) -> None:
+        """Instrumented :meth:`run`: identical dispatch, counted.
+
+        A copy of both dispatch loops that tallies fast-path call and
+        Event dispatches into the attached registry (flushed once at
+        exit, so the per-entry cost is two local integer adds).  Clock
+        advancement, ordering, and error propagation are unchanged.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        n_calls = 0
+        n_events = 0
+        try:
+            if until is None:
+                while heap:
+                    when, _prio, _seq, item = pop(heap)
+                    self._now = when
+                    if item.__class__ is tuple:
+                        n_calls += 1
+                        item[0](item[1])
+                        continue
+                    n_events += 1
+                    callbacks = item.callbacks
+                    item.callbacks = None
+                    item._processed = True
+                    if callbacks:
+                        for cb in callbacks:
+                            cb(item)
+                    elif not item._ok and not isinstance(item._value, ProcessKilled):
+                        raise item._value
+                return
+            if until < self._now:
+                raise SimulationError(
+                    f"run(until={until}) is in the past (now={self._now})"
+                )
+            while heap and heap[0][0] <= until:
+                when, _prio, _seq, item = pop(heap)
+                self._now = when
+                if item.__class__ is tuple:
+                    n_calls += 1
+                    item[0](item[1])
+                    continue
+                n_events += 1
+                callbacks = item.callbacks
+                item.callbacks = None
+                item._processed = True
+                if callbacks:
+                    for cb in callbacks:
+                        cb(item)
+                elif not item._ok and not isinstance(item._value, ProcessKilled):
+                    raise item._value
+            self._now = float(until)
+        finally:
+            registry = self._telemetry.registry
+            registry.counter("padll_engine_dispatches_total", kind="call").inc(n_calls)
+            registry.counter("padll_engine_dispatches_total", kind="event").inc(n_events)
+            registry.gauge("padll_engine_sim_time_seconds").set(self._now)
 
 
 def _invoke(fn: Callable[[], None]) -> None:

@@ -1,0 +1,83 @@
+"""Telemetry-enabled experiment wrapper: one fig4 panel, fully instrumented.
+
+``run_traced_fig4`` runs the three-setup fig4 metadata panel with a
+:class:`~repro.telemetry.runtime.Telemetry` instance attached to every
+world and returns the figure result *plus* the rendered exports from the
+PADLL world (the one with channels, token waits, and a control loop).
+The return value is a plain dataclass of strings and the picklable
+figure result, so it can serve as a sweep-cell experiment -- the
+serial == parallel sweep tests run it through the pool and compare the
+artifacts byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from repro.errors import ConfigError
+from repro.telemetry.export import events_jsonl, metrics_json, prometheus_text, spans_jsonl
+from repro.telemetry.runtime import Telemetry, TelemetryConfig
+
+__all__ = ["TracedFig4", "run_traced_fig4"]
+
+
+@dataclass
+class TracedFig4:
+    """A fig4 panel result plus the PADLL world's exported telemetry."""
+
+    result: Any
+    spans_jsonl: str
+    events_jsonl: str
+    metrics_text: str
+    metrics: Dict[str, object]
+    sampled_traces: int
+    span_count: int
+    event_count: int
+
+
+def run_traced_fig4(
+    target: str = "open",
+    seed: int = 0,
+    duration: float = 240.0,
+    step_period: float = 120.0,
+    drain_tail: float = 60.0,
+    sample_rate: float = 0.05,
+    trace: bool = True,
+) -> TracedFig4:
+    """Run the fig4 metadata panel with telemetry attached to all three worlds."""
+    from repro.experiments.fig4 import run_fig4_metadata
+
+    if duration <= 0:
+        raise ConfigError(f"duration must be positive, got {duration}")
+    telemetries: Dict[str, Telemetry] = {}
+
+    def factory(setup_name: str) -> Telemetry:
+        telemetry = Telemetry(
+            TelemetryConfig(seed=seed, sample_rate=sample_rate, trace=trace)
+        )
+        telemetries[setup_name] = telemetry
+        return telemetry
+
+    result = run_fig4_metadata(
+        target,
+        seed=seed,
+        duration=duration,
+        step_period=step_period,
+        drain_tail=drain_tail,
+        telemetry_factory=factory,
+    )
+    padll = telemetries["padll"]
+    tracer = padll.tracer
+    spans = tracer.spans if tracer is not None else []
+    trace_ids = {span.trace_id for span in spans}
+    return TracedFig4(
+        result=result,
+        spans_jsonl=spans_jsonl(spans),
+        events_jsonl=events_jsonl(padll.events.events),
+        metrics_text=prometheus_text(padll.registry),
+        metrics=metrics_json(padll.registry),
+        sampled_traces=len(trace_ids),
+        span_count=len(spans),
+        event_count=len(padll.events),
+    )

@@ -1,0 +1,149 @@
+"""Exporters: JSONL trace/event dumps and a Prometheus-style text snapshot.
+
+All output is deterministic: JSON objects are dumped with sorted keys,
+JSONL lines preserve emission order (which is simulation order), and the
+metrics snapshot sorts on ``(name, labels)``.  Two runs with the same
+seed and sampling rate therefore export byte-identical artifacts -- the
+telemetry test suite asserts exactly that.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Union
+
+from repro.telemetry.events import Event
+from repro.telemetry.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.trace import Span, Tracer
+
+__all__ = [
+    "events_jsonl",
+    "metrics_json",
+    "prometheus_text",
+    "spans_jsonl",
+    "write_text",
+]
+
+
+def spans_jsonl(spans: Union[Tracer, Iterable[Span]]) -> str:
+    """Spans as one JSON object per line, in emission (simulation) order."""
+    if isinstance(spans, Tracer):
+        spans = spans.spans
+    lines = []
+    for span in spans:
+        lines.append(
+            json.dumps(
+                {
+                    "trace_id": span.trace_id,
+                    "name": span.name,
+                    "start": span.start,
+                    "end": span.end,
+                    "attrs": span.attrs,
+                },
+                sort_keys=True,
+            )
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def events_jsonl(events: Iterable[Event]) -> str:
+    """Events as one JSON object per line, in emission order."""
+    lines = []
+    for event in events:
+        lines.append(
+            json.dumps(
+                {"kind": event.kind, "time": event.time, "fields": event.fields},
+                sort_keys=True,
+            )
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _label_text(labels) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{key}="{value}"' for key, value in labels)
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    as_int = int(value)
+    return str(as_int) if value == as_int else repr(value)
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Prometheus exposition-style text snapshot, sorted by (name, labels).
+
+    Timeseries registered by the monitoring collector are rendered as
+    gauges holding their last sampled value (count in a companion
+    ``_samples`` line), which keeps the snapshot a flat text format.
+    """
+    entries = sorted(registry.items(), key=lambda item: (item[0], item[1]))
+    lines: List[str] = []
+    typed = set()
+    for name, labels, kind, metric in entries:
+        label_text = _label_text(labels)
+        if kind == "counter":
+            if name not in typed:
+                lines.append(f"# TYPE {name} counter")
+                typed.add(name)
+            lines.append(f"{name}{label_text} {_format_value(metric.value)}")
+        elif kind == "gauge":
+            if name not in typed:
+                lines.append(f"# TYPE {name} gauge")
+                typed.add(name)
+            lines.append(f"{name}{label_text} {_format_value(metric.value)}")
+        elif kind == "histogram":
+            if name not in typed:
+                lines.append(f"# TYPE {name} histogram")
+                typed.add(name)
+            for le, count in metric.cumulative():
+                bucket_labels = labels + (("le", _format_value(le)),)
+                lines.append(f"{name}_bucket{_label_text(bucket_labels)} {_format_value(count)}")
+            lines.append(f"{name}_count{label_text} {_format_value(metric.count)}")
+            lines.append(f"{name}_sum{label_text} {_format_value(metric.total)}")
+        else:  # timeseries
+            if name not in typed:
+                lines.append(f"# TYPE {name} gauge")
+                typed.add(name)
+            value = metric.last()[1] if len(metric) else 0.0
+            lines.append(f"{name}{label_text} {_format_value(value)}")
+            lines.append(f"{name}_samples{label_text} {len(metric)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def metrics_json(registry: MetricsRegistry) -> Dict[str, object]:
+    """JSON-safe snapshot mirroring :func:`prometheus_text`."""
+    metrics: List[Dict[str, object]] = []
+    for name, labels, kind, metric in sorted(
+        registry.items(), key=lambda item: (item[0], item[1])
+    ):
+        entry: Dict[str, object] = {
+            "name": name,
+            "labels": {key: value for key, value in labels},
+            "kind": kind,
+        }
+        if kind in ("counter", "gauge"):
+            entry["value"] = metric.value
+        elif kind == "histogram":
+            entry["buckets"] = [
+                {"le": _format_value(le), "count": count} for le, count in metric.cumulative()
+            ]
+            entry["count"] = metric.count
+            entry["sum"] = metric.total
+        else:  # timeseries
+            entry["value"] = metric.last()[1] if len(metric) else None
+            entry["samples"] = len(metric)
+        metrics.append(entry)
+    return {"version": 1, "metrics": metrics}
+
+
+def write_text(path: Union[str, Path], text: str) -> Path:
+    """Write an exported artifact; parent directories are created."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    return path

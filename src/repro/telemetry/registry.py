@@ -1,0 +1,238 @@
+"""The metrics registry: counters, gauges, and sim-time-windowed histograms.
+
+Components publish through *handles* obtained once at attach time
+(:meth:`MetricsRegistry.counter` and friends intern on ``(name, labels)``),
+so the hot-path cost of an enabled metric is one attribute load plus a
+float add.  Nothing in the registry reads a clock: windowed histograms
+are advanced by the caller passing the simulated ``now``, which is what
+lets instrumented runs stay bit-identical to uninstrumented ones.
+
+The registry also owns :class:`~repro.monitoring.metrics.TimeSeries`
+instances (see :meth:`timeseries`), which is how the monitoring
+collector publishes its sampled series into the same namespace as the
+counter/gauge/histogram metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.monitoring.metrics import TimeSeries
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramWindow",
+    "MetricsRegistry",
+]
+
+LabelsKey = Tuple[Tuple[str, str], ...]
+
+
+def _labels_key(labels: Dict[str, object]) -> LabelsKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing value. ``inc`` is the only mutator."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelsKey) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins value (rates, backlogs, limits)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelsKey) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class HistogramWindow:
+    """One drained histogram window: ``[start, end)`` in sim time."""
+
+    __slots__ = ("start", "end", "counts", "count", "total")
+
+    def __init__(
+        self, start: float, end: float, counts: Tuple[float, ...], count: float, total: float
+    ) -> None:
+        self.start = start
+        self.end = end
+        self.counts = counts
+        self.count = count
+        self.total = total
+
+
+class Histogram:
+    """Fixed-boundary histogram with cumulative totals and a sim-time window.
+
+    ``bounds`` are the inclusive upper bucket edges; one implicit
+    ``+Inf`` bucket is appended.  ``observe(value, n)`` adds ``n``
+    observations of ``value`` (weighted observes keep per-batch fluid
+    accounting cheap).  ``take_window(now)`` returns everything observed
+    since the previous take, stamped with the caller-provided sim-time
+    span -- the histogram itself never touches a clock.
+    """
+
+    __slots__ = (
+        "name",
+        "labels",
+        "bounds",
+        "_counts",
+        "_window_counts",
+        "count",
+        "total",
+        "_window_count",
+        "_window_total",
+        "_window_start",
+    )
+
+    def __init__(self, name: str, labels: LabelsKey, bounds: Tuple[float, ...]) -> None:
+        if not bounds:
+            raise ConfigError(f"histogram {name!r} needs at least one bucket bound")
+        ordered = tuple(float(b) for b in bounds)
+        if any(b2 <= b1 for b1, b2 in zip(ordered, ordered[1:])):
+            raise ConfigError(
+                f"histogram {name!r} bounds must be strictly increasing, got {bounds}"
+            )
+        self.name = name
+        self.labels = labels
+        self.bounds = ordered
+        size = len(ordered) + 1  # trailing +Inf bucket
+        self._counts = [0.0] * size
+        self._window_counts = [0.0] * size
+        self.count = 0.0
+        self.total = 0.0
+        self._window_count = 0.0
+        self._window_total = 0.0
+        self._window_start = 0.0
+
+    def _bucket_index(self, value: float) -> int:
+        # Linear scan: bucket tables here are short (<=16) and the scan
+        # usually exits in the first few edges for latency-shaped data.
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                return index
+        return len(self.bounds)
+
+    def observe(self, value: float, n: float = 1.0) -> None:
+        index = self._bucket_index(value)
+        self._counts[index] += n
+        self._window_counts[index] += n
+        self.count += n
+        self.total += value * n
+        self._window_count += n
+        self._window_total += value * n
+
+    def take_window(self, now: float) -> HistogramWindow:
+        """Drain and return the current window, closing it at sim time ``now``."""
+        window = HistogramWindow(
+            start=self._window_start,
+            end=now,
+            counts=tuple(self._window_counts),
+            count=self._window_count,
+            total=self._window_total,
+        )
+        size = len(self._window_counts)
+        self._window_counts = [0.0] * size
+        self._window_count = 0.0
+        self._window_total = 0.0
+        self._window_start = now
+        return window
+
+    def cumulative(self) -> List[Tuple[float, float]]:
+        """Prometheus-style cumulative ``(le, count)`` pairs over all time."""
+        pairs: List[Tuple[float, float]] = []
+        running = 0.0
+        for bound, bucket in zip(self.bounds, self._counts):
+            running += bucket
+            pairs.append((bound, running))
+        pairs.append((float("inf"), running + self._counts[-1]))
+        return pairs
+
+
+class MetricsRegistry:
+    """Interning factory and namespace for every metric in one world.
+
+    Handles are interned on ``(name, sorted labels)``; asking twice
+    returns the same object, asking for the same name with a different
+    metric kind raises :class:`~repro.errors.ConfigError`.  Iteration
+    order is insertion order (deterministic: attach order is fixed by
+    world construction), and the exporters sort on top of it.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, LabelsKey], object] = {}
+        self._kinds: Dict[str, str] = {}
+
+    def _intern(self, kind: str, name: str, labels: Dict[str, object]):
+        known = self._kinds.get(name)
+        if known is None:
+            self._kinds[name] = kind
+        elif known != kind:
+            raise ConfigError(
+                f"metric {name!r} already registered as a {known}, not a {kind}"
+            )
+        key = (name, _labels_key(labels))
+        return key, self._metrics.get(key)
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        key, found = self._intern("counter", name, labels)
+        if found is None:
+            found = Counter(name, key[1])
+            self._metrics[key] = found
+        return found  # type: ignore[return-value]
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        key, found = self._intern("gauge", name, labels)
+        if found is None:
+            found = Gauge(name, key[1])
+            self._metrics[key] = found
+        return found  # type: ignore[return-value]
+
+    def histogram(
+        self, name: str, bounds: Tuple[float, ...] = (), **labels: object
+    ) -> Histogram:
+        key, found = self._intern("histogram", name, labels)
+        if found is None:
+            found = Histogram(name, key[1], bounds)
+            self._metrics[key] = found
+        return found  # type: ignore[return-value]
+
+    def timeseries(self, name: str, **labels: object) -> TimeSeries:
+        """A :class:`TimeSeries` registered under this namespace.
+
+        The monitoring collector publishes its sampled probe series
+        through here so snapshots see them alongside the counters.
+        """
+        key, found = self._intern("timeseries", name, labels)
+        if found is None:
+            found = TimeSeries(name=name)
+            self._metrics[key] = found
+        return found  # type: ignore[return-value]
+
+    def items(self) -> Iterator[Tuple[str, LabelsKey, str, object]]:
+        """Yield ``(name, labels, kind, metric)`` in insertion order."""
+        for (name, labels), metric in self._metrics.items():
+            yield name, labels, self._kinds[name], metric
+
+    def get(self, name: str, **labels: object) -> Optional[object]:
+        return self._metrics.get((name, _labels_key(labels)))
+
+    def __len__(self) -> int:
+        return len(self._metrics)

@@ -1,0 +1,101 @@
+"""Terminal renderers: per-request waterfalls and the controller timeline.
+
+Pure functions from span/event lists to text -- no clocks, no I/O -- so
+the ``padll-repro trace run`` output is as deterministic as the data
+behind it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.telemetry.events import Event
+from repro.telemetry.trace import Span
+
+__all__ = ["render_controller_timeline", "render_waterfall"]
+
+
+def _group_by_trace(spans: Iterable[Span]) -> "Dict[str, List[Span]]":
+    grouped: Dict[str, List[Span]] = {}
+    for span in spans:
+        grouped.setdefault(span.trace_id, []).append(span)
+    return grouped
+
+
+def render_waterfall(spans: Iterable[Span], max_traces: int = 4, width: int = 60) -> str:
+    """ASCII waterfall of the first ``max_traces`` sampled requests.
+
+    Each trace renders one bar per span on a per-trace time axis;
+    instant spans (points) render as a single ``|``.
+    """
+    grouped = _group_by_trace(spans)
+    if not grouped:
+        return "(no sampled traces)"
+    lines: List[str] = []
+    for trace_id in list(grouped)[:max_traces]:
+        trace_spans = grouped[trace_id]
+        t0 = min(span.start for span in trace_spans)
+        t1 = max(span.end for span in trace_spans)
+        extent = t1 - t0
+        scale = (width - 1) / extent if extent > 0 else 0.0
+        lines.append(f"trace {trace_id}  [{t0:.3f}s .. {t1:.3f}s]")
+        name_width = max(len(span.name) for span in trace_spans)
+        for span in trace_spans:
+            left = int((span.start - t0) * scale)
+            right = int((span.end - t0) * scale)
+            if span.end == span.start:
+                bar = " " * left + "|"
+            else:
+                bar = " " * left + "#" * max(1, right - left)
+            duration = span.end - span.start
+            detail = f"{duration:9.3f}s" if duration else "    point"
+            lines.append(f"  {span.name:<{name_width}}  {bar:<{width}} {detail}")
+        lines.append("")
+    shown = min(max_traces, len(grouped))
+    lines.append(f"{shown} of {len(grouped)} sampled traces shown")
+    return "\n".join(lines)
+
+
+def render_controller_timeline(events: Iterable[Event], max_rows: int = 40) -> str:
+    """One line per enforcement cycle that *changed* a rate.
+
+    Unchanged cycles are folded into a ``(n quiet cycles)`` marker so a
+    long steady-state run stays readable; the rendered rows show the
+    pushed rates and their deltas against the previous cycle.
+    """
+    cycles = [event for event in events if event.kind == "control.cycle"]
+    if not cycles:
+        return "(no controller cycles recorded)"
+    lines: List[str] = []
+    quiet = 0
+    shown = 0
+    for event in cycles:
+        fields = event.fields
+        rates: Dict[str, float] = dict(fields.get("rates") or {})
+        rates.update(fields.get("policy_rates") or {})
+        deltas: Dict[str, float] = fields.get("deltas") or {}
+        changed = fields.get("paused") or any(abs(d) > 1e-12 for d in deltas.values())
+        if not changed:
+            quiet += 1
+            continue
+        if quiet:
+            lines.append(f"    ... ({quiet} quiet cycles)")
+            quiet = 0
+        if shown >= max_rows:
+            lines.append("    ... (row limit reached)")
+            break
+        parts = []
+        for target in sorted(rates):
+            rate = rates[target]
+            delta = deltas.get(target)
+            if delta is not None and abs(delta) > 1e-12:
+                parts.append(f"{target}={rate:.1f} ({delta:+.1f})")
+            else:
+                parts.append(f"{target}={rate:.1f}")
+        marker = " PAUSED" if fields.get("paused") else ""
+        lines.append(f"  t={event.time:8.1f}s{marker}  " + "  ".join(parts))
+        shown += 1
+    if quiet:
+        lines.append(f"    ... ({quiet} quiet cycles)")
+    lines.append(f"{len(cycles)} enforcement cycles total")
+    return "\n".join(lines)

@@ -178,3 +178,22 @@ class TestWorldMechanics:
         # No ghost drain/collector ticks: nothing sampled after run().
         assert {name: len(ts) for name, ts in world.collector.series.items()} == sampled
         assert result.duration == 10.0
+
+
+class TestRunOnce:
+    def test_second_run_raises(self, small_trace):
+        # Regression guard for collector double-registration: a second
+        # run() would build a fresh Collector and re-add every probe, so
+        # each series would accumulate two samplers' appends.
+        world = ReplayWorld(Setup.BASELINE, sample_period=1.0)
+        world.add_job(JobSpec(job_id="j1", trace=small_trace))
+        world.run(5.0)
+        with pytest.raises(ConfigError, match="only be run once"):
+            world.run(5.0)
+
+    def test_probes_registered_exactly_once(self, small_trace):
+        world = ReplayWorld(Setup.BASELINE, sample_period=1.0)
+        world.add_job(JobSpec(job_id="j1", trace=small_trace))
+        world.run(5.0)
+        # One MDS probe plus one probe per job -- no duplicates.
+        assert sorted(world.collector._probes) == ["job.j1", "mds"]

@@ -183,6 +183,46 @@ class TestDET005MutableDefault:
         assert active_rules(code) == []
 
 
+class TestDET006TelemetryClock:
+    def test_allows_explicit_positional_timestamp(self):
+        code = "def f(events, now):\n    events.emit('control.cycle', now, rate=1.0)\n"
+        assert active_rules(code) == []
+
+    def test_allows_explicit_keyword_timestamp(self):
+        code = "def f(tracer, ctx, now):\n    tracer.emit_point(ctx, 'reply', now=now)\n"
+        assert active_rules(code) == []
+
+    def test_allows_subscript_timestamp(self):
+        # An arrival stamp pulled from a queued record is observed time.
+        code = "def f(tracer, ctx, head, now):\n    tracer.emit_span(ctx, 's', head[3], now)\n"
+        assert active_rules(code) == []
+
+    def test_flags_computed_timestamp(self):
+        code = "def f(events, clock):\n    events.emit('x', clock(), a=1)\n"
+        assert active_rules(code) == ["DET006"]
+
+    def test_flags_computed_span_end(self):
+        code = "def f(tracer, ctx, start, clock):\n    tracer.emit_span(ctx, 's', start, clock())\n"
+        assert active_rules(code) == ["DET006"]
+
+    def test_flags_missing_timestamp(self):
+        code = "def f(events):\n    events.emit('x')\n"
+        assert active_rules(code) == ["DET006"]
+
+    def test_telemetry_layer_is_deterministic_scope(self):
+        code = "def f(events, clock):\n    events.emit('x', clock())\n"
+        assert active_rules(code, "src/repro/telemetry/mod.py") == ["DET006"]
+
+    def test_ignores_interpose_layer(self):
+        # Live-layer spans are wall-clock by design.
+        code = "def f(tracer, ctx, clock):\n    tracer.emit_span(ctx, 's', clock(), clock())\n"
+        assert active_rules(code, INTERPOSE_PATH) == []
+
+    def test_ignores_outside_deterministic_layers(self):
+        code = "def f(events, clock):\n    events.emit('x', clock())\n"
+        assert active_rules(code, FREE_PATH) == []
+
+
 class TestINT001InterposeReentry:
     def test_flags_builtin_open(self):
         code = "def probe(path):\n    return open(path)\n"

@@ -1,0 +1,92 @@
+"""Unit tests for the metrics registry (counters / gauges / histograms)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.telemetry import MetricsRegistry
+
+
+class TestInterning:
+    def test_same_name_and_labels_return_same_object(self):
+        registry = MetricsRegistry()
+        a = registry.counter("ops_total", stage="s0")
+        b = registry.counter("ops_total", stage="s0")
+        assert a is b
+
+    def test_distinct_labels_are_distinct_metrics(self):
+        registry = MetricsRegistry()
+        a = registry.counter("ops_total", stage="s0")
+        b = registry.counter("ops_total", stage="s1")
+        assert a is not b
+        assert len(registry) == 2
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        a = registry.gauge("g", x="1", y="2")
+        b = registry.gauge("g", y="2", x="1")
+        assert a is b
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("m")
+        with pytest.raises(ConfigError):
+            registry.gauge("m")
+
+    def test_items_in_insertion_order(self):
+        registry = MetricsRegistry()
+        registry.counter("b_metric")
+        registry.gauge("a_metric")
+        names = [name for name, _labels, _kind, _m in registry.items()]
+        assert names == ["b_metric", "a_metric"]
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        counter = MetricsRegistry().counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_gauge_holds_last_value(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(4.0)
+        gauge.set(-1.5)
+        assert gauge.value == -1.5
+
+
+class TestHistogram:
+    def test_observe_routes_to_buckets(self):
+        hist = MetricsRegistry().histogram("h", bounds=(1.0, 10.0))
+        hist.observe(0.5)
+        hist.observe(5.0)
+        hist.observe(100.0)
+        pairs = hist.cumulative()
+        assert pairs[0] == (1.0, 1.0)
+        assert pairs[1] == (10.0, 2.0)
+        assert pairs[2] == (float("inf"), 3.0)
+        assert hist.count == 3.0
+        assert hist.total == 105.5
+
+    def test_weighted_observation(self):
+        hist = MetricsRegistry().histogram("h", bounds=(1.0,))
+        hist.observe(0.2, n=50.0)
+        assert hist.count == 50.0
+        assert hist.cumulative()[0] == (1.0, 50.0)
+
+    def test_window_resets_on_take(self):
+        hist = MetricsRegistry().histogram("h", bounds=(1.0,))
+        hist.observe(0.5)
+        window = hist.take_window(now=10.0)
+        assert window.count == 1.0
+        assert window.end == 10.0
+        window2 = hist.take_window(now=20.0)
+        assert window2.count == 0.0
+        assert window2.start == 10.0
+        # Cumulative state is untouched by the windowing.
+        assert hist.count == 1.0
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ConfigError):
+            MetricsRegistry().histogram("h", bounds=(2.0, 1.0))

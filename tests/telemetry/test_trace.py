@@ -1,0 +1,71 @@
+"""Deterministic head sampling and span emission."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.telemetry import Tracer, sample_uniform
+
+
+class TestSampling:
+    def test_rate_zero_samples_nothing(self):
+        tracer = Tracer(seed=0, sample_rate=0.0)
+        assert all(tracer.sample() is None for _ in range(100))
+
+    def test_rate_one_samples_everything(self):
+        tracer = Tracer(seed=0, sample_rate=1.0)
+        assert all(tracer.sample() is not None for _ in range(100))
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ConfigError):
+            Tracer(seed=0, sample_rate=1.5)
+        with pytest.raises(ConfigError):
+            Tracer(seed=0, sample_rate=-0.1)
+
+    def test_same_seed_same_decisions(self):
+        a = Tracer(seed=7, sample_rate=0.3)
+        b = Tracer(seed=7, sample_rate=0.3)
+        decisions_a = [a.sample() is not None for _ in range(500)]
+        decisions_b = [b.sample() is not None for _ in range(500)]
+        assert decisions_a == decisions_b
+
+    def test_different_seeds_differ(self):
+        a = Tracer(seed=1, sample_rate=0.5)
+        b = Tracer(seed=2, sample_rate=0.5)
+        decisions_a = [a.sample() is not None for _ in range(500)]
+        decisions_b = [b.sample() is not None for _ in range(500)]
+        assert decisions_a != decisions_b
+
+    def test_ordinal_advances_even_when_not_sampled(self):
+        # Head decisions are positional: skipping a request must consume
+        # its slot, or two runs with different rates would misalign ids.
+        tracer = Tracer(seed=0, sample_rate=1.0)
+        first = tracer.sample()
+        second = tracer.sample()
+        assert first.ordinal + 1 == second.ordinal
+
+    def test_sample_uniform_is_pure(self):
+        values = [sample_uniform(3, i) for i in range(50)]
+        assert values == [sample_uniform(3, i) for i in range(50)]
+        assert all(0.0 <= v < 1.0 for v in values)
+
+    def test_rate_approximates_fraction(self):
+        tracer = Tracer(seed=0, sample_rate=0.2)
+        hits = sum(tracer.sample() is not None for _ in range(5000))
+        assert 0.15 < hits / 5000 < 0.25
+
+
+class TestSpans:
+    def test_emit_span_records_in_order(self):
+        tracer = Tracer(seed=0, sample_rate=1.0)
+        ctx = tracer.sample()
+        tracer.emit_span(ctx, "queue.wait", 1.0, 2.5, channel="meta")
+        tracer.emit_point(ctx, "reply", 3.0)
+        assert [s.name for s in tracer.spans] == ["queue.wait", "reply"]
+        span = tracer.spans[0]
+        assert span.trace_id == ctx.trace_id
+        assert span.start == 1.0 and span.end == 2.5
+        assert span.attrs["channel"] == "meta"
+        point = tracer.spans[1]
+        assert point.start == point.end == 3.0

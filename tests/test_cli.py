@@ -187,3 +187,65 @@ class TestSweepCommand:
         assert out.count("computed") == 2
         assert main(args) == 0
         assert capsys.readouterr().out.count("cached") == 2
+
+
+class TestMetricsCommand:
+    _FAST = ["--duration", "30", "--step-period", "15", "--drain-tail", "10"]
+
+    def test_text_snapshot(self, capsys):
+        rc = main(["metrics", *self._FAST])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "# TYPE padll_stage_enforced_ops_total counter" in out
+        assert "padll_channel_queue_wait_seconds_bucket" in out
+        assert "padll_engine_sim_time_seconds" in out
+
+    def test_json_snapshot(self, capsys):
+        import json
+
+        rc = main(["metrics", *self._FAST, "--format", "json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == 1
+        names = {metric["name"] for metric in doc["metrics"]}
+        assert "padll_mds_served_ops_total" in names
+        assert "padll_stage_enforced_ops_total" in names
+
+    def test_invalid_duration_is_config_error(self, capsys):
+        rc = main(["metrics", "--duration", "-5"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestTraceRunCommand:
+    _FAST = ["--duration", "30", "--step-period", "15", "--drain-tail", "10"]
+
+    def test_renders_waterfall_and_timeline(self, capsys):
+        rc = main(["trace", "run", *self._FAST, "--sample-rate", "0.2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sampled" in out
+        assert "trace " in out
+        assert "stage.submit" in out
+        assert "enforcement cycles total" in out
+
+    def test_writes_artifacts(self, tmp_path, capsys):
+        import json
+
+        out_dir = tmp_path / "artifacts"
+        rc = main(["trace", "run", *self._FAST, "--sample-rate", "0.2",
+                   "--out", str(out_dir)])
+        assert rc == 0
+        spans = (out_dir / "spans.jsonl").read_text()
+        assert spans
+        for line in spans.splitlines():
+            json.loads(line)
+        assert (out_dir / "events.jsonl").exists()
+        assert "# TYPE" in (out_dir / "metrics.prom").read_text()
+
+    def test_out_collides_with_file(self, tmp_path, capsys):
+        target = tmp_path / "occupied"
+        target.write_text("x")
+        rc = main(["trace", "run", *self._FAST, "--out", str(target)])
+        assert rc == 2
+        assert "not a directory" in capsys.readouterr().err

@@ -80,6 +80,7 @@ class TestHarness:
             "engine_events_per_sec",
             "stage_ops_per_sec",
             "classifier_decisions_per_sec",
+            "telemetry_off_stage_ops_per_sec",
             "fig4_sim_seconds_per_sec",
             "sweep_cells_per_sec",
         }
