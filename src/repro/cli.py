@@ -120,7 +120,10 @@ def build_parser() -> argparse.ArgumentParser:
     exp = sub.add_parser("experiment", help="regenerate a paper artefact")
     exp.add_argument(
         "name",
-        choices=("fig1", "fig2", "fig4", "fig5", "overhead", "harm", "cost-aware"),
+        choices=(
+            "fig1", "fig2", "fig4", "fig5", "overhead", "harm", "cost-aware",
+            "dependability",
+        ),
     )
     exp.add_argument("--seed", type=int, default=0)
     exp.add_argument(
@@ -143,7 +146,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "grid",
-        choices=("fig4", "fig5", "ablations", "harm", "overhead", "all"),
+        choices=(
+            "fig4", "fig5", "ablations", "harm", "overhead", "dependability",
+            "all",
+        ),
         help="which artefact grid to run",
     )
     sweep.add_argument("--seed", type=int, default=0)
@@ -416,6 +422,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         return 0
     elif args.name == "harm":
         from repro.experiments.harm import main as run
+    elif args.name == "dependability":
+        from repro.experiments.dependability import main as run
     else:
         from repro.experiments.cost_aware import main as run
     results = run(seed=args.seed)
@@ -478,6 +486,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.runner import (
         SweepRunner,
         ablation_grid,
+        dependability_grid,
         fig4_grid,
         fig5_grid,
         full_grid,
@@ -497,10 +506,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             ),
             "harm": lambda: harm_grid(seed=seed, duration=300.0),
             "overhead": lambda: overhead_grid(seed=seed, duration=120.0),
+            "dependability": lambda: dependability_grid(seed=seed, duration=90.0),
         }
         grids["all"] = lambda: [cell for make in (
             grids["fig4"], grids["fig5"], grids["ablations"],
-            grids["harm"], grids["overhead"],
+            grids["harm"], grids["overhead"], grids["dependability"],
         ) for cell in make()]
     else:
         grids = {
@@ -509,6 +519,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "ablations": lambda: ablation_grid(seed=seed),
             "harm": lambda: harm_grid(seed=seed),
             "overhead": lambda: overhead_grid(seed=seed),
+            "dependability": lambda: dependability_grid(seed=seed),
             "all": lambda: full_grid(seed=seed),
         }
     cells = grids[args.grid]()

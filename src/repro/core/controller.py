@@ -24,6 +24,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.errors import ConfigError, PolicyError, RPCError, StageNotRegistered
 from repro.core.algorithms import AllocationAlgorithm, JobDemand, MIN_RATE
 from repro.core.policies import PolicyRule
+from repro.core.ringlog import RingLog
 from repro.core.rpc import (
     CollectStats,
     EnforceRate,
@@ -31,7 +32,9 @@ from repro.core.rpc import (
     RpcFabric,
     StageEndpoint,
 )
+from repro.core.session import CollectSession
 from repro.core.stage import DataPlaneStage, StageIdentity, StageStats
+from repro.simulation.rng import make_rng
 
 __all__ = ["JobInfo", "ControlPlaneConfig", "ControlPlane"]
 
@@ -66,6 +69,36 @@ class ControlPlaneConfig:
     #: disables liveness eviction -- a dependability knob from the paper's
     #: section VI future-work discussion.
     max_missed_collects: Optional[int] = None
+    #: Cap on the enforcement/eviction audit trails (ring buffers).  The
+    #: default comfortably holds every paper-scale experiment's full trail
+    #: while bounding memory in long-running live loops; None = unbounded.
+    history_limit: Optional[int] = 65536
+    #: Collect through per-endpoint async sessions (deadlines, retries,
+    #: staleness) instead of the synchronous walk.  Requires a fabric with
+    #: ``call_async`` and an attached engine.
+    async_collect: bool = False
+    #: Reply deadline for one async collect request; None means half the
+    #: loop interval.
+    collect_deadline: Optional[float] = None
+    #: Extra attempts after a timeout/failure before it counts as a miss.
+    max_collect_retries: int = 0
+    #: Backoff before a retry: ``retry_backoff * factor**(attempt-1)``
+    #: seconds, stretched by up to ``retry_jitter`` (seeded, relative).
+    retry_backoff: float = 0.0
+    retry_backoff_factor: float = 2.0
+    retry_jitter: float = 0.0
+    #: Cap on new collect requests issued per tick (None = all endpoints);
+    #: the issue order rotates so every endpoint is eventually served.
+    collect_budget: Optional[int] = None
+    #: How long a stale (pre-deadline) stats reply stays usable by the
+    #: allocator; None means only fresh replies feed the demand signal.
+    stale_ttl: Optional[float] = None
+    #: Half-life of the stale-demand discount: a reply ``age`` seconds old
+    #: contributes ``0.5 ** (age / stale_halflife)`` of its demand.  None
+    #: disables discounting.
+    stale_halflife: Optional[float] = None
+    #: Seed for the control plane's own RNG (retry jitter only).
+    seed: int = 0
 
     def __post_init__(self) -> None:
         if self.loop_interval <= 0:
@@ -77,6 +110,40 @@ class ControlPlaneConfig:
         if self.max_missed_collects is not None and self.max_missed_collects < 1:
             raise ConfigError(
                 f"max_missed_collects must be >= 1, got {self.max_missed_collects}"
+            )
+        if self.history_limit is not None and self.history_limit < 1:
+            raise ConfigError(
+                f"history_limit must be >= 1, got {self.history_limit}"
+            )
+        if self.collect_deadline is not None and self.collect_deadline <= 0:
+            raise ConfigError(
+                f"collect_deadline must be positive, got {self.collect_deadline}"
+            )
+        if self.max_collect_retries < 0:
+            raise ConfigError(
+                f"max_collect_retries must be >= 0, got {self.max_collect_retries}"
+            )
+        if self.retry_backoff < 0:
+            raise ConfigError(
+                f"retry_backoff must be >= 0, got {self.retry_backoff}"
+            )
+        if self.retry_backoff_factor < 1:
+            raise ConfigError(
+                f"retry_backoff_factor must be >= 1, got {self.retry_backoff_factor}"
+            )
+        if self.retry_jitter < 0:
+            raise ConfigError(
+                f"retry_jitter must be >= 0, got {self.retry_jitter}"
+            )
+        if self.collect_budget is not None and self.collect_budget < 1:
+            raise ConfigError(
+                f"collect_budget must be >= 1, got {self.collect_budget}"
+            )
+        if self.stale_ttl is not None and self.stale_ttl <= 0:
+            raise ConfigError(f"stale_ttl must be positive, got {self.stale_ttl}")
+        if self.stale_halflife is not None and self.stale_halflife <= 0:
+            raise ConfigError(
+                f"stale_halflife must be positive, got {self.stale_halflife}"
             )
 
 
@@ -107,13 +174,25 @@ class ControlPlane:
         self._policies: Dict[str, PolicyRule] = {}
         self._last_stats: Dict[str, StageStats] = {}
         #: (now, job_id, rate) tuples of every algorithm enforcement -- the
-        #: audit trail experiments assert against.
-        self.enforcement_log: List[tuple[float, str, float]] = []
+        #: audit trail experiments assert against.  Bounded (ring buffer)
+        #: so long-running live loops cannot leak; ``history_limit=None``
+        #: restores the unbounded legacy behaviour.
+        self.enforcement_log: RingLog = RingLog(self.config.history_limit)
         self.loop_iterations = 0
         self.collect_failures = 0
+        #: Async-collect bookkeeping: deadline expiries observed.
+        self.collect_timeouts = 0
         self._missed_collects: Dict[str, int] = {}
         #: Stages evicted by the liveness check: (time, stage_id).
-        self.evictions: List[tuple[float, str]] = []
+        self.evictions: RingLog = RingLog(self.config.history_limit)
+        #: Per-endpoint collect sessions (async mode only).
+        self._sessions: Dict[str, CollectSession] = {}
+        #: Age (seconds) of each stats entry the last collect produced;
+        #: feeds the allocator's stale-demand discount.  Empty in sync
+        #: mode, where every entry is from this very tick.
+        self._stats_age: Dict[str, float] = {}
+        #: Seeded RNG for retry-backoff jitter; nothing else draws from it.
+        self._rng = make_rng(self.config.seed)
         #: Telemetry spine (None = introspection off).  When attached, every
         #: loop iteration appends one ``control.cycle`` event recording what
         #: the loop saw and what it pushed.
@@ -152,6 +231,9 @@ class ControlPlane:
         self.fabric.unbind(stage_id)
         self._last_stats.pop(stage_id, None)
         self._missed_collects.pop(stage_id, None)
+        session = self._sessions.pop(stage_id, None)
+        if session is not None:
+            session.abandon()
         job = self._jobs[identity.job_id]
         job.stage_ids.remove(stage_id)
         if not job.stage_ids:
@@ -234,6 +316,8 @@ class ControlPlane:
             )
 
     def _collect(self, now: float) -> Dict[str, StageStats]:
+        if self.config.async_collect:
+            return self._collect_async(now)
         stats: Dict[str, StageStats] = {}
         limit = self.config.max_missed_collects
         for stage_id in list(self._stages):
@@ -254,6 +338,131 @@ class ControlPlane:
                 stats[stage_id] = result
                 self._last_stats[stage_id] = result
         return stats
+
+    def _record_miss(self, endpoint: str, now: float) -> bool:
+        """Account one definitive collect miss; True if ``endpoint`` was
+        evicted (and must not be re-issued this tick)."""
+        self.collect_failures += 1
+        misses = self._missed_collects.get(endpoint, 0) + 1
+        self._missed_collects[endpoint] = misses
+        limit = self.config.max_missed_collects
+        if limit is not None and misses >= limit:
+            self.evictions.append((now, endpoint))
+            if self._telemetry is not None:
+                self._telemetry.events.emit(
+                    "control.evict", now, endpoint=endpoint, misses=misses
+                )
+            self._evict(endpoint)
+            return True
+        return False
+
+    def _evict(self, endpoint: str) -> None:
+        """Deregister a liveness-evicted endpoint (hierarchy overrides)."""
+        self.deregister(endpoint)
+
+    def _collect_endpoints(self) -> List[str]:
+        """Addresses the collect state machine polls (stages, by default)."""
+        return list(self._stages)
+
+    def _collect_message(self, now: float):
+        """The request one collect session issues (hierarchy overrides)."""
+        return CollectStats(now=now)
+
+    def _collect_async(self, now: float) -> Dict[str, StageStats]:
+        """Session-driven collect: issue/retry/timeout per endpoint.
+
+        One pass over the endpoints advances each session's state machine
+        at this tick boundary: harvest replies that arrived since the
+        last tick, expire deadlines into retries (seeded-jitter
+        exponential backoff) or -- with retries exhausted -- liveness
+        misses, then issue new requests within the per-tick budget.
+        """
+        config = self.config
+        deadline = (
+            config.collect_deadline
+            if config.collect_deadline is not None
+            else config.loop_interval / 2
+        )
+        budget = config.collect_budget
+        telemetry = self._telemetry
+        endpoints = self._collect_endpoints()
+        if budget is not None and endpoints:
+            # Rotate the issue order so a tight budget still serves every
+            # endpoint round-robin across ticks.
+            k = self.loop_iterations % len(endpoints)
+            endpoints = endpoints[k:] + endpoints[:k]
+        issued = 0
+        stats: Dict[str, StageStats] = {}
+        ages: Dict[str, float] = {}
+        for endpoint in endpoints:
+            session = self._sessions.get(endpoint)
+            if session is None:
+                session = self._sessions[endpoint] = CollectSession(endpoint)
+            # -- expire: endpoint failure or deadline passed ----------------
+            miss = False
+            if session.failed:
+                session.failed = False
+                miss = self._handle_expiry(session, now)
+            elif (
+                session.pending is not None
+                and now - session.issued_at >= deadline
+            ):
+                session.abandon()
+                session.timeouts += 1
+                self.collect_timeouts += 1
+                if telemetry is not None:
+                    telemetry.events.emit(
+                        "control.collect_timeout",
+                        now,
+                        endpoint=endpoint,
+                        attempt=session.attempt,
+                    )
+                miss = self._handle_expiry(session, now)
+            if miss:
+                continue  # evicted
+            # -- harvest ----------------------------------------------------
+            if session.stats is not None:
+                age = now - session.stats_at
+                fresh = age <= config.loop_interval
+                if fresh:
+                    self._missed_collects.pop(endpoint, None)
+                    self._last_stats[endpoint] = session.stats
+                if fresh or (
+                    config.stale_ttl is not None and age <= config.stale_ttl
+                ):
+                    stats[endpoint] = session.stats
+                    ages[endpoint] = age
+            # -- issue ------------------------------------------------------
+            if (
+                session.pending is None
+                and now >= session.next_attempt_at
+                and (budget is None or issued < budget)
+            ):
+                try:
+                    session.issue(self.fabric, self._collect_message(now), now)
+                except (RPCError, StageNotRegistered):
+                    if self._record_miss(endpoint, now):
+                        continue
+                else:
+                    issued += 1
+        self._stats_age = ages
+        return stats
+
+    def _handle_expiry(self, session: CollectSession, now: float) -> bool:
+        """Route one expired attempt into retry-with-backoff or a miss;
+        True if the endpoint was evicted."""
+        config = self.config
+        if session.attempt <= config.max_collect_retries:
+            backoff = config.retry_backoff * (
+                config.retry_backoff_factor ** (session.attempt - 1)
+            )
+            if config.retry_jitter > 0 and backoff > 0:
+                backoff *= 1.0 + config.retry_jitter * self._rng.random()
+            session.next_attempt_at = now + backoff
+            return False
+        session.attempt = 0
+        session.next_attempt_at = now
+        return self._record_miss(session.endpoint, now)
 
     def _enforce_policies(self, now: float) -> Dict[tuple[str, str], float]:
         # Resolve conflicts: for each (job, channel) keep the highest-priority
@@ -350,8 +559,16 @@ class ControlPlane:
         Demand = offered rate over the window plus the backlog's drain
         desire (backlog / loop interval): a job with queued work wants at
         least enough rate to clear it within one loop period.
+
+        Async collects stamp each entry with its *age*; with
+        ``stale_halflife`` configured, a stale entry's demand is
+        discounted by ``0.5 ** (age / halflife)`` so decisions lean on
+        old observations progressively less.  Fresh (age-zero) entries
+        take the exact legacy accumulation path, bit for bit.
         """
         channel = self.config.algorithm_channel
+        halflife = self.config.stale_halflife
+        ages = self._stats_age
         per_job_demand: Dict[str, float] = {}
         for stage_id, st in stats.items():
             snap = next((c for c in st.channels if c.channel_id == channel), None)
@@ -360,6 +577,16 @@ class ControlPlane:
             window = st.window if st.window > 0 else self.config.loop_interval
             offered = snap.enqueued_ops / window
             drain = snap.backlog / self.config.loop_interval
+            if halflife is not None and ages:
+                age = ages.get(stage_id, 0.0)
+                if age > 0.0:
+                    discounted = (offered + drain) * (0.5 ** (age / halflife))
+                    per_job_demand[st.job_id] = (
+                        per_job_demand.get(st.job_id, 0.0) + discounted
+                    )
+                    continue
+            # Exact legacy accumulation order -- golden digests depend on
+            # this float expression bit for bit.
             per_job_demand[st.job_id] = per_job_demand.get(st.job_id, 0.0) + offered + drain
         return [
             JobDemand(

@@ -1,0 +1,437 @@
+"""Hierarchical control plane: per-rack local controllers.
+
+The flat plane talks to every stage directly -- O(stages) RPC endpoints
+per loop tick, the scalability ceiling the paper's section VI points at.
+MIDAS-style metadata-QoS middleware scales this with proxy aggregation:
+a **local controller** per node/rack registers its stages locally,
+aggregates their window statistics into per-job demand partials, and
+fans a pushed job-level rate out to its stages.  The global plane then
+talks to O(racks) endpoints.
+
+Equivalence contract: on a fault-free fabric, with every job's stages
+hosted by a single local controller (the placement
+:class:`~repro.experiments.harness.ReplayWorld` uses), the hierarchical
+plane computes *bit-identical* demand signals and pushes *identical*
+enforcement messages in the same order as the flat plane -- the
+aggregation uses the exact accumulation expression of
+``ControlPlane._job_demands`` and the per-stage rate split
+``max(min_rate, rate / n_stages)`` is computed once globally, so no
+float is ever re-associated.  ``tests/core/test_hierarchy.py`` asserts
+the enforcement logs match cycle for cycle.
+
+Under faults, collect the aggregates through the async session machinery
+(``ControlPlaneConfig.async_collect=True``): the sessions poll local
+controllers instead of stages, and evicting an unresponsive local evicts
+all of its stages at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError, RPCError, StageNotRegistered
+from repro.core.algorithms import JobDemand
+from repro.core.controller import ControlPlane, JobInfo
+from repro.core.rpc import (
+    CollectStats,
+    EnforceRate,
+    Ping,
+    RpcMessage,
+    StageEndpoint,
+)
+from repro.core.stage import DataPlaneStage, StageIdentity
+
+__all__ = [
+    "CollectAggregate",
+    "JobAggregate",
+    "AggregateStats",
+    "EnforceJobRate",
+    "LocalController",
+    "HierarchicalControlPlane",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class CollectAggregate(RpcMessage):
+    """Ask a local controller for its per-job demand aggregate."""
+
+    now: float
+    channel: str
+    loop_interval: float
+
+
+@dataclass(frozen=True, slots=True)
+class JobAggregate:
+    """One job's demand partial as seen by one local controller."""
+
+    job_id: str
+    demand: float
+    n_stages: int
+
+
+@dataclass(frozen=True, slots=True)
+class AggregateStats:
+    """A local controller's reply to :class:`CollectAggregate`."""
+
+    local_id: str
+    timestamp: float
+    jobs: Tuple[JobAggregate, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class EnforceJobRate(RpcMessage):
+    """Push a job's (already split) per-stage rate to a local controller."""
+
+    job_id: str
+    channel_id: str
+    rate: float
+    now: float
+    burst: Optional[float] = None
+
+
+class LocalController:
+    """Per-node/rack aggregator between the global plane and its stages.
+
+    Handles three verbs: :class:`CollectAggregate` (collect every local
+    stage's window stats and fold them into per-job demand partials with
+    the flat plane's exact arithmetic), :class:`EnforceJobRate` (fan a
+    per-stage rate out to the job's local stages), and :class:`Ping`.
+    """
+
+    def __init__(self, local_id: str, telemetry=None) -> None:
+        if not local_id:
+            raise ConfigError("local controller needs an id")
+        self.local_id = local_id
+        self._telemetry = telemetry
+        #: stage_id -> RPC handler, in registration order.
+        self._handlers: Dict[str, Callable[[RpcMessage], Any]] = {}
+        self._identities: Dict[str, StageIdentity] = {}
+        #: job_id -> local stage ids, in registration order.
+        self._job_stages: Dict[str, List[str]] = {}
+
+    # -- local registry ----------------------------------------------------
+    @property
+    def stage_ids(self) -> List[str]:
+        return list(self._handlers)
+
+    @property
+    def identities(self) -> Dict[str, StageIdentity]:
+        return dict(self._identities)
+
+    def register(self, stage: DataPlaneStage) -> None:
+        self.register_endpoint(stage.identity, StageEndpoint(stage).handle)
+
+    def register_endpoint(
+        self, identity: StageIdentity, handler: Callable[[RpcMessage], Any]
+    ) -> None:
+        stage_id = identity.stage_id
+        if stage_id in self._handlers:
+            raise ConfigError(
+                f"stage {stage_id!r} already registered with local "
+                f"{self.local_id!r}"
+            )
+        self._handlers[stage_id] = handler
+        self._identities[stage_id] = identity
+        self._job_stages.setdefault(identity.job_id, []).append(stage_id)
+
+    def deregister(self, stage_id: str) -> None:
+        identity = self._identities.pop(stage_id, None)
+        if identity is None:
+            raise StageNotRegistered(
+                f"stage {stage_id!r} not registered with local {self.local_id!r}"
+            )
+        del self._handlers[stage_id]
+        stages = self._job_stages[identity.job_id]
+        stages.remove(stage_id)
+        if not stages:
+            del self._job_stages[identity.job_id]
+
+    # -- RPC surface -------------------------------------------------------
+    def handle(self, message: RpcMessage) -> Any:
+        if isinstance(message, CollectAggregate):
+            return self._collect_aggregate(message)
+        if isinstance(message, EnforceJobRate):
+            return self._enforce_job_rate(message)
+        if isinstance(message, Ping):
+            return message.payload
+        raise RPCError(
+            f"local {self.local_id!r}: unhandled message type "
+            f"{type(message).__name__}"
+        )
+
+    def _collect_aggregate(self, message: CollectAggregate) -> AggregateStats:
+        per_job: Dict[str, float] = {}
+        collect = CollectStats(now=message.now)
+        channel = message.channel
+        loop_interval = message.loop_interval
+        for handler in self._handlers.values():
+            st = handler(collect)
+            if st is None:
+                continue
+            snap = next(
+                (c for c in st.channels if c.channel_id == channel), None
+            )
+            if snap is None:
+                continue
+            window = st.window if st.window > 0 else loop_interval
+            offered = snap.enqueued_ops / window
+            drain = snap.backlog / loop_interval
+            # Exact flat-plane accumulation expression (bit-for-bit).
+            per_job[st.job_id] = per_job.get(st.job_id, 0.0) + offered + drain
+        jobs = tuple(
+            JobAggregate(
+                job_id=job_id,
+                demand=demand,
+                n_stages=len(self._job_stages.get(job_id, ())),
+            )
+            for job_id, demand in per_job.items()
+        )
+        return AggregateStats(
+            local_id=self.local_id, timestamp=message.now, jobs=jobs
+        )
+
+    def _enforce_job_rate(self, message: EnforceJobRate) -> bool:
+        for stage_id in self._job_stages.get(message.job_id, ()):
+            handler = self._handlers[stage_id]
+            try:
+                handler(
+                    EnforceRate(
+                        channel_id=message.channel_id,
+                        rate=message.rate,
+                        now=message.now,
+                        burst=message.burst,
+                    )
+                )
+            except ConfigError:
+                # The stage has no such channel: the rule does not apply.
+                continue
+        return True
+
+
+class HierarchicalControlPlane(ControlPlane):
+    """A :class:`ControlPlane` that talks to local controllers.
+
+    Global bookkeeping (jobs, reservations, policies, the allocation
+    algorithm, the enforcement log) is inherited unchanged; only the
+    transport topology differs -- collects poll locals, enforcement fans
+    out through locals, and liveness eviction removes a silent local's
+    entire stage population.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: local_id -> LocalController, in attach order.
+        self._locals: Dict[str, LocalController] = {}
+        #: stage_id -> hosting local_id.
+        self._stage_local: Dict[str, str] = {}
+
+    # -- topology ----------------------------------------------------------
+    @property
+    def locals(self) -> Dict[str, LocalController]:
+        return dict(self._locals)
+
+    def attach_local(self, local: LocalController) -> None:
+        if local.local_id in self._locals:
+            raise ConfigError(f"local {local.local_id!r} already attached")
+        self.fabric.bind(local.local_id, local.handle)
+        self._locals[local.local_id] = local
+
+    def register(self, stage: DataPlaneStage, now: float = 0.0) -> None:
+        raise ConfigError(
+            "hierarchical plane registers stages through register_stage"
+        )
+
+    def register_endpoint(self, identity, handler, now: float = 0.0) -> None:
+        raise ConfigError(
+            "hierarchical plane registers stages through register_stage"
+        )
+
+    def register_stage(
+        self, stage: DataPlaneStage, local_id: str, now: float = 0.0
+    ) -> None:
+        """Register a stage with its hosting local controller."""
+        local = self._locals.get(local_id)
+        if local is None:
+            raise ConfigError(f"no local controller {local_id!r} attached")
+        identity = stage.identity
+        if identity.stage_id in self._stages:
+            raise ConfigError(f"stage {identity.stage_id!r} already registered")
+        local.register(stage)
+        self._stages[identity.stage_id] = identity
+        self._stage_local[identity.stage_id] = local_id
+        job = self._jobs.get(identity.job_id)
+        if job is None:
+            job = JobInfo(job_id=identity.job_id, registered_at=now)
+            self._jobs[identity.job_id] = job
+        job.stage_ids.append(identity.stage_id)
+
+    def deregister(self, stage_id: str) -> None:
+        local_id = self._stage_local.pop(stage_id, None)
+        if local_id is None:
+            raise StageNotRegistered(f"stage {stage_id!r} not registered")
+        identity = self._stages.pop(stage_id)
+        self._locals[local_id].deregister(stage_id)
+        self._last_stats.pop(stage_id, None)
+        job = self._jobs[identity.job_id]
+        job.stage_ids.remove(stage_id)
+        if not job.stage_ids:
+            del self._jobs[identity.job_id]
+
+    # -- collect -----------------------------------------------------------
+    def _collect_endpoints(self) -> List[str]:
+        return list(self._locals)
+
+    def _aggregate_message(self, now: float) -> CollectAggregate:
+        return CollectAggregate(
+            now=now,
+            channel=self.config.algorithm_channel,
+            loop_interval=self.config.loop_interval,
+        )
+
+    def _collect(self, now: float) -> Dict[str, AggregateStats]:
+        if self.config.async_collect:
+            return self._collect_async(now)
+        stats: Dict[str, AggregateStats] = {}
+        message = self._aggregate_message(now)
+        for local_id in list(self._locals):
+            try:
+                result = self.fabric.call(local_id, message)
+            except RPCError:
+                if self._record_miss(local_id, now):
+                    continue
+                continue
+            self._missed_collects.pop(local_id, None)
+            if isinstance(result, AggregateStats):
+                stats[local_id] = result
+                self._last_stats[local_id] = result
+        return stats
+
+    def _collect_message(self, now: float) -> CollectAggregate:
+        # The base session machine polls _collect_endpoints() (locals here)
+        # with this message instead of CollectStats.
+        return self._aggregate_message(now)
+
+    # -- demand & enforcement ----------------------------------------------
+    def _job_demands(self, stats: Dict[str, AggregateStats]) -> List[JobDemand]:
+        halflife = self.config.stale_halflife
+        ages = self._stats_age
+        per_job_demand: Dict[str, float] = {}
+        for local_id, agg in stats.items():
+            if not isinstance(agg, AggregateStats):
+                continue
+            discount = 1.0
+            if halflife is not None and ages:
+                age = ages.get(local_id, 0.0)
+                if age > 0.0:
+                    discount = 0.5 ** (age / halflife)
+            for ja in agg.jobs:
+                if ja.job_id not in self._jobs:
+                    continue  # job finished since the aggregate was taken
+                demand = ja.demand if discount == 1.0 else ja.demand * discount
+                per_job_demand[ja.job_id] = (
+                    per_job_demand.get(ja.job_id, 0.0) + demand
+                )
+        return [
+            JobDemand(
+                job_id=job_id,
+                demand=per_job_demand.get(job_id, 0.0),
+                reservation=job.reservation,
+            )
+            for job_id, job in self._jobs.items()
+        ]
+
+    def _push_job_rate(
+        self,
+        job_id: str,
+        channel_id: str,
+        rate: float,
+        now: float,
+        burst: Optional[float] = None,
+    ) -> None:
+        job = self._jobs.get(job_id)
+        if job is None or not job.stage_ids:
+            return
+        # Split once, globally, with the flat plane's exact expression --
+        # locals receive a final per-stage rate, so no re-association.
+        per_stage = max(self.config.min_rate, rate / job.n_stages)
+        per_burst = None if burst is None else max(burst / job.n_stages, per_stage)
+        pushed: set = set()
+        for stage_id in job.stage_ids:
+            local_id = self._stage_local.get(stage_id)
+            if local_id is None or local_id in pushed:
+                continue
+            pushed.add(local_id)
+            try:
+                self.fabric.call(
+                    local_id,
+                    EnforceJobRate(
+                        job_id=job_id,
+                        channel_id=channel_id,
+                        rate=per_stage,
+                        now=now,
+                        burst=per_burst,
+                    ),
+                )
+            except RPCError:
+                self.collect_failures += 1
+
+    # -- liveness ----------------------------------------------------------
+    def _evict(self, endpoint: str) -> None:
+        """Evict an unresponsive local controller and all of its stages."""
+        local = self._locals.pop(endpoint, None)
+        if local is None:
+            raise StageNotRegistered(f"local {endpoint!r} not attached")
+        self.fabric.unbind(endpoint)
+        self._last_stats.pop(endpoint, None)
+        self._missed_collects.pop(endpoint, None)
+        session = self._sessions.pop(endpoint, None)
+        if session is not None:
+            session.abandon()
+        for stage_id in local.stage_ids:
+            local.deregister(stage_id)
+            self._stage_local.pop(stage_id, None)
+            identity = self._stages.pop(stage_id)
+            self._last_stats.pop(stage_id, None)
+            job = self._jobs[identity.job_id]
+            job.stage_ids.remove(stage_id)
+            if not job.stage_ids:
+                del self._jobs[identity.job_id]
+
+    # -- introspection -------------------------------------------------------
+    def _emit_cycle(
+        self, telemetry, now, stats, demands, enforced, policy_rates, paused
+    ) -> None:
+        """Job-level ``control.cycle``: locals report aggregates, not
+        per-channel stage snapshots."""
+        observed = {
+            local_id: {
+                ja.job_id: {"demand": ja.demand, "n_stages": ja.n_stages}
+                for ja in agg.jobs
+            }
+            for local_id, agg in stats.items()
+            if isinstance(agg, AggregateStats)
+        }
+        rates: Dict[str, float] = dict(enforced or {})
+        for (job_id, channel_id), rate in policy_rates.items():
+            rates[f"{job_id}:{channel_id}"] = rate
+        prev = self._prev_rates
+        deltas = {t: r - prev.get(t, 0.0) for t, r in rates.items()}
+        self._prev_rates = rates
+        telemetry.events.emit(
+            "control.cycle",
+            now,
+            iteration=self.loop_iterations,
+            paused=paused,
+            hierarchical=True,
+            observed=observed,
+            demand={d.job_id: d.demand for d in demands} if demands else {},
+            reservations={d.job_id: d.reservation for d in demands} if demands else {},
+            algorithm=type(self.algorithm).__name__ if self.algorithm else None,
+            rates=dict(enforced or {}),
+            policy_rates={
+                f"{job_id}:{channel_id}": rate
+                for (job_id, channel_id), rate in policy_rates.items()
+            },
+            deltas=deltas,
+        )

@@ -3,23 +3,24 @@
 The paper uses gRPC; what the control loop actually needs is ordered
 request/response messaging with three verbs -- register, collect
 statistics, enforce rule -- plus failure visibility.  We model that with
-typed messages over a pluggable fabric:
+typed messages over a pluggable fabric.
 
-* :class:`InMemoryFabric` dispatches synchronously (same process), with
-  optional fault injection (message loss -> :class:`~repro.errors.RPCError`)
-  and latency accounting, used by every experiment;
-* :class:`SimFabric` delivers through the discrete-event engine with real
-  simulated latency, used to study control-plane lag (a section VI
-  "dependability" extension).
+The fabric implementation lives in :mod:`repro.core.fabric`
+(:class:`~repro.core.fabric.FaultyFabric`): one composable substrate
+with per-link seeded latency/jitter/loss and scripted partitions.  The
+three historical fabrics -- :class:`InMemoryFabric`, :class:`SimFabric`,
+:class:`DelayedEnforceFabric` -- remain here as thin shims over it so
+every existing call site and test keeps its exact semantics.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Dict, Optional
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
 
-from repro.errors import RPCError, StageNotRegistered
+from repro.errors import RPCError
 from repro.core.differentiation import ClassifierRule
+from repro.core.fabric import FaultyFabric, LinkProfile
 from repro.core.stage import DataPlaneStage, StageIdentity, StageStats
 
 __all__ = [
@@ -146,92 +147,50 @@ class RpcFabric:
         raise NotImplementedError  # pragma: no cover - interface
 
 
-class InMemoryFabric(RpcFabric):
+class InMemoryFabric(FaultyFabric):
     """Synchronous in-process fabric with fault injection.
 
     ``drop_fn(address, message) -> bool`` simulates message loss: a dropped
     call raises :class:`RPCError`, which the control plane must tolerate
     (it skips the stage for that loop iteration).
+
+    Shim over an engine-less :class:`~repro.core.fabric.FaultyFabric`.
     """
 
     def __init__(
         self, drop_fn: Optional[Callable[[str, RpcMessage], bool]] = None
     ) -> None:
-        self._handlers: Dict[str, Callable[[RpcMessage], Any]] = {}
-        self._drop_fn = drop_fn
-        self.calls = 0
-        self.dropped = 0
-
-    def bind(self, address: str, handler: Callable[[RpcMessage], Any]) -> None:
-        if address in self._handlers:
-            raise RPCError(f"address {address!r} already bound")
-        self._handlers[address] = handler
-
-    def unbind(self, address: str) -> None:
-        if address not in self._handlers:
-            raise StageNotRegistered(f"address {address!r} not bound")
-        del self._handlers[address]
-
-    def call(self, address: str, message: RpcMessage) -> Any:
-        handler = self._handlers.get(address)
-        if handler is None:
-            raise StageNotRegistered(f"address {address!r} not bound")
-        self.calls += 1
-        if self._drop_fn is not None and self._drop_fn(address, message):
-            self.dropped += 1
-            raise RPCError(f"message to {address!r} dropped")
-        return handler(message)
+        super().__init__(env=None, drop_fn=drop_fn)
 
 
-class SimFabric(RpcFabric):
+class SimFabric(FaultyFabric):
     """Event-driven fabric with simulated network latency.
 
     ``call`` here is *fire-and-forget with deferred effect*: the message is
     applied to the endpoint ``latency`` simulated seconds later, and the
     call returns None immediately.  Stat collection under latency uses
     :meth:`call_async`, which returns an Event carrying the response.
+
+    Shim: a :class:`~repro.core.fabric.FaultyFabric` with a lossless
+    fixed-latency link, single-leg async replies (the reply does not
+    traverse the link again), and no arrival-time rewrite.
     """
 
     def __init__(self, env, latency: float = 0.0) -> None:
-        if latency < 0:
-            raise RPCError(f"latency must be >= 0, got {latency}")
-        self.env = env
+        super().__init__(
+            env=env,
+            link=LinkProfile(latency=float(latency)),
+            rewrite_now=False,
+            async_reply=False,
+        )
         self.latency = float(latency)
-        self._handlers: Dict[str, Callable[[RpcMessage], Any]] = {}
-        self.calls = 0
-
-    def bind(self, address: str, handler: Callable[[RpcMessage], Any]) -> None:
-        if address in self._handlers:
-            raise RPCError(f"address {address!r} already bound")
-        self._handlers[address] = handler
-
-    def unbind(self, address: str) -> None:
-        if address not in self._handlers:
-            raise StageNotRegistered(f"address {address!r} not bound")
-        del self._handlers[address]
 
     def call(self, address: str, message: RpcMessage) -> Any:
         self.call_async(address, message)
         return None
 
-    def call_async(self, address: str, message: RpcMessage):
-        handler = self._handlers.get(address)
-        if handler is None:
-            raise StageNotRegistered(f"address {address!r} not bound")
-        self.calls += 1
-        done = self.env.event()
 
-        def deliver() -> None:
-            try:
-                done.succeed(handler(message))
-            except Exception as exc:  # surface endpoint errors to the waiter
-                done.fail(RPCError(str(exc)))
-
-        self.env.call_at(self.env.now + self.latency, deliver)
-        return done
-
-
-class DelayedEnforceFabric(RpcFabric):
+class DelayedEnforceFabric(FaultyFabric):
     """In-process fabric that delays *enforcement* by a network latency.
 
     Statistics collection stays synchronous (the loop needs an answer to
@@ -239,40 +198,22 @@ class DelayedEnforceFabric(RpcFabric):
     :class:`InstallRule` messages take effect ``latency`` simulated seconds
     later -- the control-plane-lag model the section-VI scalability
     discussion asks about.  Used by the control-lag ablation benchmark.
+
+    Shim: a :class:`~repro.core.fabric.FaultyFabric` with a lossless
+    fixed-latency link where :class:`CollectStats` / :class:`Ping`
+    dispatch synchronously; deferred enforcement messages have their
+    ``now`` rewritten to arrival time (a token bucket cannot refill into
+    the past) and a stage that deregisters mid-flight swallows them, as
+    a real network would.
     """
 
     def __init__(self, env, latency: float) -> None:
         if latency < 0:
             raise RPCError(f"latency must be >= 0, got {latency}")
-        self.env = env
+        super().__init__(
+            env=env,
+            link=LinkProfile(latency=float(latency)),
+            sync_messages=(CollectStats, Ping),
+            rewrite_now=True,
+        )
         self.latency = float(latency)
-        self._inner = InMemoryFabric()
-        self.deferred = 0
-
-    def bind(self, address: str, handler: Callable[[RpcMessage], Any]) -> None:
-        self._inner.bind(address, handler)
-
-    def unbind(self, address: str) -> None:
-        self._inner.unbind(address)
-
-    def call(self, address: str, message: RpcMessage) -> Any:
-        if self.latency == 0 or isinstance(message, (CollectStats, Ping)):
-            return self._inner.call(address, message)
-        self.deferred += 1
-
-        def deliver() -> None:
-            msg = message
-            # Timestamps inside the message refer to the sender's clock;
-            # the receiver applies the rule at *arrival* time (a token
-            # bucket cannot refill into the past).
-            if isinstance(msg, (EnforceRate, CreateChannel)):
-                msg = replace(msg, now=self.env.now)
-            try:
-                self._inner.call(address, msg)
-            except StageNotRegistered:
-                # The stage deregistered while the message was in flight;
-                # a real network drops such messages silently.
-                pass
-
-        self.env.call_at(self.env.now + self.latency, deliver)
-        return True

@@ -23,7 +23,62 @@ from repro.core.differentiation import Classifier, ClassifierRule, Decision
 from repro.core.requests import Request
 from repro.core.token_bucket import UNLIMITED
 
-__all__ = ["StageIdentity", "StageConfig", "ChannelSnapshot", "StageStats", "DataPlaneStage"]
+__all__ = [
+    "StageIdentity",
+    "StageConfig",
+    "OrphanPolicy",
+    "ChannelSnapshot",
+    "StageStats",
+    "DataPlaneStage",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class OrphanPolicy:
+    """What a stage does when the control plane goes silent.
+
+    A real LD_PRELOAD stage keeps serving requests when its controller is
+    partitioned away; it must decide what rate to run at.  A stage enters
+    the *orphaned* state after ``orphan_after`` expected enforcement
+    cycles (of ``interval`` seconds each) pass without any enforcement
+    message, then follows ``mode``:
+
+    * ``"hold"`` -- keep the last enforced rates (optimistic: assume the
+      allocation is still roughly right);
+    * ``"decay"`` -- halve every channel's rate each ``half_life``
+      seconds of silence, converging to ``floor`` (pessimistic: back off
+      so an unsupervised stage cannot keep harming the MDS).
+
+    The first enforcement message to arrive re-adopts the stage and
+    restores normal operation.
+    """
+
+    orphan_after: int = 3
+    interval: float = 1.0
+    mode: str = "hold"
+    floor: float = 1.0
+    half_life: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.orphan_after < 1:
+            raise ConfigError(
+                f"orphan_after must be >= 1, got {self.orphan_after}"
+            )
+        if self.interval <= 0:
+            raise ConfigError(f"interval must be positive, got {self.interval}")
+        if self.mode not in ("hold", "decay"):
+            raise ConfigError(f"mode must be 'hold' or 'decay', got {self.mode!r}")
+        if self.floor <= 0:
+            raise ConfigError(f"floor must be positive, got {self.floor}")
+        if self.half_life <= 0:
+            raise ConfigError(
+                f"half_life must be positive, got {self.half_life}"
+            )
+
+    @property
+    def silence_threshold(self) -> float:
+        """Seconds of enforcement silence before a stage is orphaned."""
+        return self.orphan_after * self.interval
 
 
 @dataclass(frozen=True, slots=True)
@@ -122,9 +177,17 @@ class DataPlaneStage:
         sink: Callable[[Request], None],
         config: Optional[StageConfig] = None,
         telemetry=None,
+        orphan_policy: Optional[OrphanPolicy] = None,
     ) -> None:
         self.identity = identity
         self.config = config or StageConfig()
+        #: Controller-silence survival policy (None = legacy behaviour:
+        #: hold rates forever, implicitly).
+        self._orphan_policy = orphan_policy
+        self._last_enforced: Optional[float] = None
+        self._orphan_since: Optional[float] = None
+        self._orphan_rates: Dict[str, float] = {}
+        self.orphan_transitions = 0
         self._sink = sink
         self.classifier = Classifier(pfs_mounts=self.config.pfs_mounts)
         self._channels: Dict[str, Channel] = {}
@@ -206,6 +269,64 @@ class DataPlaneStage:
     ) -> None:
         """Apply a control-plane rate rule to one channel."""
         self._channel(channel_id).set_rate(rate, now, burst)
+        if self._orphan_policy is not None:
+            self._note_enforcement(now)
+
+    # -- orphan policy ---------------------------------------------------------
+    def set_orphan_policy(self, policy: Optional[OrphanPolicy]) -> None:
+        """Install (or clear) the controller-silence survival policy."""
+        self._orphan_policy = policy
+        self._orphan_since = None
+        self._orphan_rates = {}
+
+    @property
+    def orphaned(self) -> bool:
+        return self._orphan_since is not None
+
+    def _note_enforcement(self, now: float) -> None:
+        """An enforcement message arrived: the stage is (re-)adopted."""
+        self._last_enforced = now
+        if self._orphan_since is not None:
+            self._orphan_since = None
+            self._orphan_rates = {}
+            if self._telemetry is not None:
+                self._telemetry.events.emit(
+                    "control.adopted", now, stage=self.identity.stage_id
+                )
+
+    def _orphan_check(self, now: float) -> None:
+        """Enter/advance the orphaned state from the drain path."""
+        policy = self._orphan_policy
+        last = self._last_enforced
+        if last is None:
+            return  # never adopted by a controller; nothing to miss
+        if self._orphan_since is None:
+            if now - last < policy.silence_threshold:
+                return
+            self._orphan_since = now
+            self._orphan_rates = {
+                channel.channel_id: channel.rate
+                for channel in self._channel_list
+            }
+            self.orphan_transitions += 1
+            if self._telemetry is not None:
+                self._telemetry.events.emit(
+                    "control.orphan",
+                    now,
+                    stage=self.identity.stage_id,
+                    mode=policy.mode,
+                    silent_for=now - last,
+                )
+        if policy.mode == "decay":
+            # Halve toward the safe floor each half-life of silence.
+            factor = 2.0 ** (-(now - self._orphan_since) / policy.half_life)
+            floor = policy.floor
+            for channel in self._channel_list:
+                base = self._orphan_rates.get(channel.channel_id, channel.rate)
+                target = base * factor
+                if target < floor:
+                    target = floor
+                channel.set_rate(target, now)
 
     def channel_rate(self, channel_id: str) -> float:
         return self._channel(channel_id).rate
@@ -266,6 +387,8 @@ class DataPlaneStage:
         a round-robin refinement is unnecessary because per-channel buckets
         already bound each channel's share.
         """
+        if self._orphan_policy is not None:
+            self._orphan_check(now)
         total = 0.0
         remaining = limit
         telemetry = self._telemetry
@@ -291,6 +414,8 @@ class DataPlaneStage:
         ``list.append`` per grant instead of a Python sink call chain.  The
         experiment harness uses this to fuse the drain tick's delivery loop.
         """
+        if self._orphan_policy is not None:
+            self._orphan_check(now)
         total = 0.0
         remaining = limit
         append = grants.append

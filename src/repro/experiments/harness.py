@@ -37,7 +37,8 @@ from repro.core.requests import (
     Request,
     batch_request,
 )
-from repro.core.stage import DataPlaneStage, StageConfig, StageIdentity
+from repro.core.hierarchy import HierarchicalControlPlane, LocalController
+from repro.core.stage import DataPlaneStage, OrphanPolicy, StageConfig, StageIdentity
 from repro.core.token_bucket import UNLIMITED
 from repro.monitoring.collector import Collector, Probe
 from repro.pfs.cluster import ClusterConfig, LustreCluster
@@ -190,11 +191,17 @@ class ReplayWorld:
         fabric_factory=None,
         health_aware: bool = False,
         telemetry=None,
+        controller_config: Optional[ControlPlaneConfig] = None,
+        hierarchical: bool = False,
+        n_racks: int = 2,
+        orphan_policy: Optional[OrphanPolicy] = None,
     ) -> None:
         if dt <= 0:
             raise ConfigError(f"dt must be positive, got {dt}")
         if sample_period <= 0:
             raise ConfigError(f"sample period must be positive, got {sample_period}")
+        if n_racks < 1:
+            raise ConfigError(f"n_racks must be >= 1, got {n_racks}")
         self.setup = setup
         self.dt = float(dt)
         self.sample_period = float(sample_period)
@@ -217,14 +224,36 @@ class ReplayWorld:
         # ``fabric_factory(env)`` lets experiments interpose a custom RPC
         # fabric (e.g. delayed enforcement for the control-lag ablation).
         fabric = fabric_factory(self.env) if fabric_factory is not None else None
-        self.controller = ControlPlane(
-            fabric=fabric,
-            config=ControlPlaneConfig(
-                loop_interval=loop_interval, algorithm_channel=algorithm_channel
-            ),
-            algorithm=algorithm,
-            telemetry=telemetry,
+        # ``controller_config`` overrides the two convenience knobs above
+        # (dependability runs need the full surface: async collects,
+        # retries, staleness, eviction).
+        config = controller_config or ControlPlaneConfig(
+            loop_interval=loop_interval, algorithm_channel=algorithm_channel
         )
+        self.hierarchical = hierarchical
+        self.orphan_policy = orphan_policy
+        if hierarchical:
+            # Per-rack local controllers; jobs are placed whole-job-per-rack
+            # (add order, round robin) so the hierarchy is enforcement-
+            # equivalent to the flat plane on a fault-free fabric.
+            self.controller = HierarchicalControlPlane(
+                fabric=fabric,
+                config=config,
+                algorithm=algorithm,
+                telemetry=telemetry,
+            )
+            self.racks = [LocalController(f"rack{r}") for r in range(n_racks)]
+            for rack in self.racks:
+                self.controller.attach_local(rack)
+        else:
+            self.controller = ControlPlane(
+                fabric=fabric,
+                config=config,
+                algorithm=algorithm,
+                telemetry=telemetry,
+            )
+            self.racks = []
+        self._job_rack: Dict[str, str] = {}
         if health_aware:
             # The control plane's global visibility includes PFS health:
             # during an MDS outage it pauses enforcement so backlog stays
@@ -257,6 +286,14 @@ class ReplayWorld:
         # Jobs enter the system at their start time (stage registration
         # included), exactly like a scheduler launching them.
         self.env.call_at(spec.start, lambda: self._start_job(runtime))
+
+    def _rack_for_job(self, job_id: str) -> str:
+        """Whole-job-per-rack placement, round robin in job-start order."""
+        rack = self._job_rack.get(job_id)
+        if rack is None:
+            rack = self.racks[len(self._job_rack) % len(self.racks)].local_id
+            self._job_rack[job_id] = rack
+        return rack
 
     # -- job wiring -----------------------------------------------------------------
     def _deliver(self, runtime: _JobRuntime, request: Request) -> None:
@@ -552,8 +589,15 @@ class ReplayWorld:
                     telemetry=self.telemetry,
                 )
                 self._build_channels(stage, spec, unlimited)
+                if self.orphan_policy is not None:
+                    stage.set_orphan_policy(self.orphan_policy)
                 runtime.stages.append(stage)
-                self.controller.register(stage, now=self.env.now)
+                if self.hierarchical:
+                    self.controller.register_stage(
+                        stage, self._rack_for_job(spec.job_id), now=self.env.now
+                    )
+                else:
+                    self.controller.register(stage, now=self.env.now)
             reservation = self._reservations.get(spec.job_id)
             if reservation is not None:
                 self.controller.set_reservation(spec.job_id, reservation)

@@ -20,7 +20,7 @@ from typing import Callable, Dict, Optional, Sequence
 from repro.errors import ConfigError
 from repro.core.differentiation import Classifier, ClassifierRule, Decision
 from repro.core.requests import Request
-from repro.core.stage import ChannelSnapshot, StageIdentity, StageStats
+from repro.core.stage import ChannelSnapshot, OrphanPolicy, StageIdentity, StageStats
 from repro.core.token_bucket import UNLIMITED
 from repro.interpose.live_bucket import LiveTokenBucket
 
@@ -58,6 +58,7 @@ class LiveStage:
         pfs_mounts: Optional[Sequence[str]] = None,
         clock: Callable[[], float] = time.monotonic,
         telemetry=None,
+        orphan_policy: Optional[OrphanPolicy] = None,
     ) -> None:
         self.identity = identity
         self.classifier = Classifier(pfs_mounts=pfs_mounts)
@@ -67,6 +68,14 @@ class LiveStage:
         self._passthrough_total = 0.0
         self._passthrough_window = 0.0
         self._last_collect = clock()
+        #: Same controller-silence policy as the simulated stage: with the
+        #: control loop unreachable, hold the last rates or decay toward
+        #: the safe floor (checked on the throttle path).
+        self._orphan_policy = orphan_policy
+        self._last_enforced: Optional[float] = None
+        self._orphan_since: Optional[float] = None
+        self._orphan_rates: Dict[str, float] = {}
+        self.orphan_transitions = 0
         self._telemetry = None
         self._m_throttled = None
         if telemetry is not None:
@@ -108,6 +117,55 @@ class LiveStage:
         self, channel_id: str, rate: float, now: float = 0.0, burst: Optional[float] = None
     ) -> None:
         self._channel(channel_id).bucket.set_rate(rate, burst)
+        if self._orphan_policy is not None:
+            self._note_enforcement()
+
+    # -- orphan policy ----------------------------------------------------------
+    def set_orphan_policy(self, policy: Optional[OrphanPolicy]) -> None:
+        with self._lock:
+            self._orphan_policy = policy
+            self._orphan_since = None
+            self._orphan_rates = {}
+
+    @property
+    def orphaned(self) -> bool:
+        return self._orphan_since is not None
+
+    def _note_enforcement(self) -> None:
+        with self._lock:
+            self._last_enforced = self._clock()
+            if self._orphan_since is not None:
+                self._orphan_since = None
+                self._orphan_rates = {}
+
+    def _orphan_check(self) -> None:
+        """Enter/advance the orphaned state (called on the throttle path)."""
+        policy = self._orphan_policy
+        with self._lock:
+            last = self._last_enforced
+            if last is None:
+                return
+            now = self._clock()
+            if self._orphan_since is None:
+                if now - last < policy.silence_threshold:
+                    return
+                self._orphan_since = now
+                self._orphan_rates = {
+                    cid: ch.bucket.rate for cid, ch in self._channels.items()
+                }
+                self.orphan_transitions += 1
+            if policy.mode != "decay":
+                return
+            factor = 2.0 ** (-(now - self._orphan_since) / policy.half_life)
+            floor = policy.floor
+            channels = list(self._channels.items())
+            rates = dict(self._orphan_rates)
+        for cid, channel in channels:
+            base = rates.get(cid, channel.bucket.rate)
+            target = base * factor
+            if target < floor:
+                target = floor
+            channel.bucket.set_rate(target)
 
     def channel_rate(self, channel_id: str) -> float:
         return self._channel(channel_id).bucket.rate
@@ -132,6 +190,8 @@ class LiveStage:
         decision = self.classifier.classify(request)
         if decision.enforced:
             assert decision.channel_id is not None
+            if self._orphan_policy is not None:
+                self._orphan_check()
             channel = self._channel(decision.channel_id)
             telemetry = self._telemetry
             if telemetry is not None:

@@ -35,12 +35,22 @@ class LiveControlLoop:
         self._clock = clock
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
-        #: Exceptions raised inside the loop (the thread stops on the first).
+        #: Most recent exception raised by a tick.  The loop *keeps
+        #: running* after a failed tick (a transient RPC error must not
+        #: kill enforcement forever); the latest error is re-raised by
+        #: :meth:`stop` so callers cannot miss that ticks were failing.
         self.error: BaseException | None = None
+        #: Number of ticks that raised (cumulative).
+        self.tick_errors = 0
 
     @property
     def running(self) -> bool:
         return self._thread is not None and self._thread.is_alive()
+
+    @property
+    def last_error(self) -> BaseException | None:
+        """The most recent tick exception (None = all ticks clean)."""
+        return self.error
 
     def start(self) -> None:
         if self.running:
@@ -60,11 +70,12 @@ class LiveControlLoop:
             raise self.error
 
     def _run(self) -> None:
-        try:
-            while not self._stop.wait(self.interval):
+        while not self._stop.wait(self.interval):
+            try:
                 self.controller.tick(self._clock())
-        except BaseException as exc:  # surfaced by stop()
-            self.error = exc
+            except BaseException as exc:  # recorded; surfaced by stop()
+                self.error = exc
+                self.tick_errors += 1
 
     def __enter__(self) -> "LiveControlLoop":
         self.start()

@@ -22,6 +22,7 @@ from repro import __version__
 from repro.perfbench.endtoend import bench_fig4
 from repro.perfbench.micro import (
     bench_classifier,
+    bench_control,
     bench_engine,
     bench_stage,
     bench_telemetry,
@@ -179,7 +180,7 @@ def run_perfbench(
     config: Optional[PerfbenchConfig] = None,
     repo_root: Optional[Path] = None,
 ) -> PerfbenchReport:
-    """Run all five benchmarks and return the stamped report."""
+    """Run every registered benchmark and return the stamped report."""
     config = config or PerfbenchConfig()
     scale = config.scale
     started = time.time()
@@ -197,6 +198,10 @@ def run_perfbench(
         "classifier_decisions_per_sec": (
             "decisions/s",
             lambda: bench_classifier(n_ops=max(1000, int(500_000 * scale))),
+        ),
+        "control_cycles_per_sec": (
+            "cycles/s",
+            lambda: bench_control(n_cycles=max(10, int(500 * scale))),
         ),
         "telemetry_off_stage_ops_per_sec": (
             "ops/s",

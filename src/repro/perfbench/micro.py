@@ -11,13 +11,21 @@ from __future__ import annotations
 import time
 from typing import Dict
 
+from repro.core.algorithms import ProportionalSharing
+from repro.core.controller import ControlPlane
 from repro.core.differentiation import Classifier, ClassifierRule
 from repro.core.requests import OperationClass, OperationType, Request
 from repro.core.stage import DataPlaneStage, StageConfig, StageIdentity
 from repro.simulation.engine import Environment
 from repro.simulation.ticker import Ticker
 
-__all__ = ["bench_engine", "bench_stage", "bench_classifier", "bench_telemetry"]
+__all__ = [
+    "bench_engine",
+    "bench_stage",
+    "bench_classifier",
+    "bench_control",
+    "bench_telemetry",
+]
 
 
 def _engine_scenario(duration: float) -> int:
@@ -187,6 +195,71 @@ def bench_telemetry(n_ops: int = 200_000, drain_every: int = 64) -> Dict[str, fl
         "work": float(n_ops),
         "enabled_ops_per_sec": enabled,
         "enabled_overhead_fraction": (off - enabled) / off if off > 0 else 0.0,
+    }
+
+
+def _control_stage(stage_id: str, job_id: str) -> DataPlaneStage:
+    stage = DataPlaneStage(StageIdentity(stage_id, job_id), sink=lambda request: None)
+    stage.create_channel("metadata", rate=1e6)
+    stage.add_classifier_rule(
+        ClassifierRule(
+            name="md",
+            channel_id="metadata",
+            op_classes=frozenset({OperationClass.METADATA}),
+        )
+    )
+    return stage
+
+
+def _control_scenario(n_stages: int, n_cycles: int) -> float:
+    """Run ``n_cycles`` full collect+enforce loops; return cycles/sec.
+
+    One cycle is what the controller does once per ``loop_interval`` in
+    every experiment: walk all registered stages for windowed stats,
+    aggregate per-job demand, run the sharing algorithm, and push one
+    EnforceRate per stage.  Between cycles each stage receives a small
+    metadata burst so the demand signal (and therefore the allocator's
+    work) is non-trivial and shifting.
+    """
+    cp = ControlPlane(algorithm=ProportionalSharing(capacity=100e3))
+    n_jobs = max(1, n_stages // 4)
+    stages = [
+        _control_stage(f"s{i}", f"job{i % n_jobs}") for i in range(n_stages)
+    ]
+    for stage in stages:
+        cp.register(stage)
+    start = time.perf_counter()
+    for cycle in range(n_cycles):
+        now = float(cycle)
+        for i, stage in enumerate(stages):
+            stage.submit(
+                Request(
+                    op=OperationType.OPEN,
+                    path="/pfs/scratch/bench",
+                    count=10.0 * (1 + (i + cycle) % 3),
+                    job_id=stage.identity.job_id,
+                ),
+                now,
+            )
+        cp.tick(now + 0.5)
+    return n_cycles / (time.perf_counter() - start)
+
+
+def bench_control(n_cycles: int = 500) -> Dict[str, float]:
+    """Control-plane cycles/sec at several cluster sizes.
+
+    ``value`` is the 64-stage figure (the paper-scale experiments run a
+    few dozen stages); the 8- and 256-stage points in the detail show how
+    the loop scales with fan-out.
+    """
+    small = _control_scenario(8, n_cycles)
+    medium = _control_scenario(64, n_cycles)
+    large = _control_scenario(256, max(1, n_cycles // 4))
+    return {
+        "value": medium,
+        "work": float(n_cycles),
+        "cycles_per_sec_8_stages": small,
+        "cycles_per_sec_256_stages": large,
     }
 
 

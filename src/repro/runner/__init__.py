@@ -23,6 +23,7 @@ from repro.runner.cells import (
     EXPERIMENTS,
     Cell,
     ablation_grid,
+    dependability_grid,
     fig4_grid,
     fig5_grid,
     full_grid,
@@ -39,6 +40,7 @@ __all__ = [
     "SweepOutcome",
     "SweepRunner",
     "ablation_grid",
+    "dependability_grid",
     "cell_digest",
     "fig4_grid",
     "fig5_grid",

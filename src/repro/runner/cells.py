@@ -13,7 +13,9 @@ paper's artefact grids cell-by-cell:
 * ``ablation_grid`` -- the control-lag, burst-size, and loop-interval
   design-knob sweeps;
 * ``harm_grid`` -- the protected and unprotected MDS-overload runs;
-* ``overhead_grid`` -- the simulated interception-overhead check.
+* ``overhead_grid`` -- the simulated interception-overhead check;
+* ``dependability_grid`` -- control-plane fault sweeps (RPC loss,
+  latency, partitions), flat vs hierarchical.
 
 Determinism: every cell carries its own seed and the experiments seed
 their generators from it explicitly; nothing reads global RNG state, so
@@ -37,6 +39,7 @@ __all__ = [
     "ablation_grid",
     "harm_grid",
     "overhead_grid",
+    "dependability_grid",
     "full_grid",
 ]
 
@@ -65,6 +68,10 @@ class Cell:
         detail = self.params.get("target") or self.params.get("setup_name")
         if detail is None and "protected" in self.params:
             detail = "protected" if self.params["protected"] else "unprotected"
+        if detail is None and "axis" in self.params:
+            detail = self.params["axis"]
+            if "mode" in self.params:
+                detail = f"{detail}-{self.params['mode']}"
         base = self.experiment if detail is None else f"{self.experiment}:{detail}"
         return f"{base}@seed{self.seed}"
 
@@ -124,6 +131,14 @@ def _run_overhead_sim(seed: int, **params: Any):
     return run_sim_overhead(seed=seed, **params)
 
 
+def _run_dependability(seed: int, **params: Any):
+    from repro.experiments.dependability import run_dependability
+
+    if "levels" in params:
+        params = dict(params, levels=tuple(params["levels"]))
+    return run_dependability(seed=seed, **params)
+
+
 EXPERIMENTS: Dict[str, Callable[..., Any]] = {
     "fig4-metadata": _run_fig4_metadata,
     "fig4-traced": _run_fig4_traced,
@@ -133,6 +148,7 @@ EXPERIMENTS: Dict[str, Callable[..., Any]] = {
     "ablation-loop": _run_ablation_loop,
     "harm": _run_harm,
     "overhead-sim": _run_overhead_sim,
+    "dependability": _run_dependability,
 }
 
 
@@ -202,6 +218,21 @@ def overhead_grid(seed: int = 0, duration: float = 600.0) -> List[Cell]:
     return [Cell("overhead-sim", {"duration": duration}, seed=seed)]
 
 
+def dependability_grid(seed: int = 0, duration: float = 240.0) -> List[Cell]:
+    """One cell per (fault axis, control-plane mode)."""
+    from repro.experiments.dependability import FAULT_AXES, MODES
+
+    return [
+        Cell(
+            "dependability",
+            {"axis": axis, "mode": mode, "duration": duration},
+            seed=seed,
+        )
+        for axis in FAULT_AXES
+        for mode in MODES
+    ]
+
+
 def full_grid(seed: int = 0) -> List[Cell]:
     """Every paper-scale artefact grid, concatenated."""
     return (
@@ -210,4 +241,5 @@ def full_grid(seed: int = 0) -> List[Cell]:
         + ablation_grid(seed=seed)
         + harm_grid(seed=seed)
         + overhead_grid(seed=seed)
+        + dependability_grid(seed=seed)
     )

@@ -288,6 +288,84 @@ class TestLiveness:
             ControlPlaneConfig(max_missed_collects=0)
 
 
+class TestEvictionEdges:
+    def _dropping_cp(self, limit, capacity=100.0):
+        dead = {"flag": False}
+
+        def drop(addr, msg):
+            from repro.core.rpc import CollectStats
+
+            return dead["flag"] and isinstance(msg, CollectStats)
+
+        cp = ControlPlane(
+            fabric=InMemoryFabric(drop_fn=drop),
+            config=ControlPlaneConfig(max_missed_collects=limit),
+            algorithm=ProportionalSharing(capacity=capacity),
+        )
+        return cp, dead
+
+    def test_evicted_stage_can_reregister_under_same_id(self):
+        cp, dead = self._dropping_cp(limit=2)
+        cp.register(make_stage("s0", "jobA"))
+        dead["flag"] = True
+        cp.tick(0.0)
+        cp.tick(1.0)  # miss 2 -> evicted, endpoint unbound
+        assert cp.jobs == {}
+        # The restarted process re-registers with the same stage id: the
+        # eviction must have fully released the id (fabric binding, stats,
+        # miss counters, session) or this raises "already registered".
+        dead["flag"] = False
+        replacement = make_stage("s0", "jobA")
+        cp.register(replacement)
+        replacement.submit(Request(OperationType.OPEN, path="/f", count=30.0), 2.0)
+        cp.tick(2.0)
+        assert "jobA" in cp.jobs
+        assert cp.last_stats("s0") is not None
+        # A fresh silence starts the miss count from zero, not from the
+        # evicted predecessor's tally.
+        assert cp._missed_collects.get("s0", 0) == 0
+
+    def test_final_stage_eviction_redistributes_share(self):
+        """Evicting a job's last stage removes the job; the survivors'
+        allocation grows to cover the freed share."""
+        dead = {"flag": False}
+
+        def drop(addr, msg):
+            from repro.core.rpc import CollectStats
+
+            return (
+                dead["flag"] and addr == "b0" and isinstance(msg, CollectStats)
+            )
+
+        cp = ControlPlane(
+            fabric=InMemoryFabric(drop_fn=drop),
+            config=ControlPlaneConfig(max_missed_collects=2),
+            algorithm=ProportionalSharing(capacity=100.0),
+        )
+        a = make_stage("a0", "jobA")
+        b = make_stage("b0", "jobB")
+        cp.register(a)
+        cp.register(b)
+
+        def load(now):
+            a.submit(Request(OperationType.OPEN, path="/f", count=40.0), now)
+
+        load(0.0)
+        cp.tick(0.0)
+        dead["flag"] = True  # jobB's only stage goes dark
+        for t in (1.0, 2.0):
+            load(t)
+            cp.tick(t)
+        assert "jobB" not in cp.jobs
+        assert cp.evictions == [(2.0, "b0")]
+        load(3.0)
+        cp.tick(3.0)
+        # After redistribution jobA is the sole claimant of the capacity.
+        final_cycle = [entry for entry in cp.enforcement_log if entry[0] == 3.0]
+        assert {job for _, job, _ in final_cycle} == {"jobA"}
+        assert all(rate >= 40.0 for _, _, rate in final_cycle)
+
+
 class TestHealthProbe:
     def test_unhealthy_pauses_algorithm_channel(self):
         healthy = {"flag": True}

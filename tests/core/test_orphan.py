@@ -1,0 +1,158 @@
+"""Stage autonomy under controller silence: the orphan policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.core.differentiation import ClassifierRule
+from repro.core.requests import OperationClass, OperationType, Request
+from repro.core.stage import OrphanPolicy
+from repro.interpose.live_stage import LiveStage
+from repro.core.stage import StageIdentity
+
+from tests.core.test_controller import make_stage
+
+POLICY_HOLD = OrphanPolicy(orphan_after=2, interval=1.0, mode="hold")
+
+
+class TestOrphanPolicyValidation:
+    def test_defaults(self):
+        policy = OrphanPolicy()
+        assert policy.mode == "hold"
+        assert policy.silence_threshold == 3.0
+
+    def test_silence_threshold_scales_with_interval(self):
+        assert OrphanPolicy(orphan_after=4, interval=0.5).silence_threshold == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            OrphanPolicy(orphan_after=0)
+        with pytest.raises(ConfigError):
+            OrphanPolicy(interval=0.0)
+        with pytest.raises(ConfigError):
+            OrphanPolicy(mode="panic")
+        with pytest.raises(ConfigError):
+            OrphanPolicy(floor=0.0)
+        with pytest.raises(ConfigError):
+            OrphanPolicy(half_life=-1.0)
+
+
+class TestSimStageOrphan:
+    def _adopted_stage(self, policy, rate=64.0):
+        stage = make_stage("s0", "jobA")
+        stage.set_orphan_policy(policy)
+        stage.set_channel_rate("metadata", rate, now=0.0)  # adoption
+        return stage
+
+    def test_never_enforced_stage_never_orphans(self):
+        stage = make_stage("s0", "jobA")
+        stage.set_orphan_policy(POLICY_HOLD)
+        stage.drain(100.0)
+        assert not stage.orphaned
+        assert stage.orphan_transitions == 0
+
+    def test_hold_keeps_last_rate(self):
+        stage = self._adopted_stage(POLICY_HOLD)
+        stage.drain(1.0)
+        assert not stage.orphaned
+        stage.drain(2.0)  # silence >= 2 cycles
+        assert stage.orphaned
+        assert stage.orphan_transitions == 1
+        stage.drain(50.0)
+        assert stage.channel_rate("metadata") == 64.0  # held
+
+    def test_decay_halves_toward_floor(self):
+        policy = OrphanPolicy(
+            orphan_after=2, interval=1.0, mode="decay", floor=2.0, half_life=5.0
+        )
+        stage = self._adopted_stage(policy)
+        stage.drain(2.0)  # orphaned at t=2
+        assert stage.orphaned
+        stage.drain(7.0)  # one half-life of orphanhood
+        assert stage.channel_rate("metadata") == pytest.approx(32.0)
+        stage.drain(12.0)  # two half-lives
+        assert stage.channel_rate("metadata") == pytest.approx(16.0)
+        stage.drain(500.0)
+        assert stage.channel_rate("metadata") == 2.0  # clamped at the floor
+
+    def test_enforcement_readopts(self):
+        policy = OrphanPolicy(
+            orphan_after=2, interval=1.0, mode="decay", floor=2.0, half_life=5.0
+        )
+        stage = self._adopted_stage(policy)
+        stage.drain(2.0)
+        assert stage.orphaned
+        stage.set_channel_rate("metadata", 50.0, now=3.0)  # controller is back
+        assert not stage.orphaned
+        assert stage.channel_rate("metadata") == 50.0
+        # A fresh silence window orphans it again (new transition).
+        stage.drain(5.0)
+        assert stage.orphaned
+        assert stage.orphan_transitions == 2
+
+    def test_drain_collect_also_checks(self):
+        stage = self._adopted_stage(POLICY_HOLD)
+        grants = []
+        stage.drain_collect(10.0, grants)
+        assert stage.orphaned
+
+    def test_set_policy_none_disables(self):
+        stage = self._adopted_stage(POLICY_HOLD)
+        stage.set_orphan_policy(None)
+        stage.drain(10.0)
+        assert not stage.orphaned
+
+
+class TestLiveStageOrphan:
+    def _live(self, policy, clock):
+        stage = LiveStage(
+            StageIdentity("ls0", "jobA"), clock=clock, orphan_policy=policy
+        )
+        stage.create_channel("metadata", rate=1e9)
+        stage.add_classifier_rule(
+            ClassifierRule(
+                name="md",
+                channel_id="metadata",
+                op_classes=frozenset({OperationClass.METADATA}),
+            )
+        )
+        return stage
+
+    def test_live_throttle_path_orphans_and_decays(self):
+        t = {"now": 0.0}
+        policy = OrphanPolicy(
+            orphan_after=2, interval=1.0, mode="decay", floor=2.0, half_life=5.0
+        )
+        stage = self._live(policy, clock=lambda: t["now"])
+        stage.set_channel_rate("metadata", 64.0)  # adoption at t=0
+        req = Request(OperationType.OPEN, path="/f", count=0.001)
+        t["now"] = 1.0
+        stage.throttle(req)
+        assert not stage.orphaned
+        t["now"] = 2.0  # silence hits the 2-cycle threshold
+        stage.throttle(req)
+        assert stage.orphaned
+        assert stage.orphan_transitions == 1
+        t["now"] = 7.0  # one half-life of orphanhood
+        stage.throttle(req)
+        assert stage.channel_rate("metadata") == pytest.approx(32.0)
+        # Controller reappears.
+        stage.set_channel_rate("metadata", 40.0)
+        assert not stage.orphaned
+        assert stage.channel_rate("metadata") == 40.0
+
+    def test_live_hold_mode_keeps_rate(self):
+        t = {"now": 0.0}
+        stage = self._live(POLICY_HOLD, clock=lambda: t["now"])
+        stage.set_channel_rate("metadata", 10.0)
+        t["now"] = 30.0
+        stage.throttle(Request(OperationType.OPEN, path="/f", count=0.001))
+        assert stage.orphaned
+        assert stage.channel_rate("metadata") == 10.0
+
+    def test_live_never_enforced_never_orphans(self):
+        t = {"now": 100.0}
+        stage = self._live(POLICY_HOLD, clock=lambda: t["now"])
+        stage.throttle(Request(OperationType.OPEN, path="/f", count=0.001))
+        assert not stage.orphaned

@@ -1,0 +1,93 @@
+"""RingLog: bounded audit trails with list semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.core.controller import ControlPlane, ControlPlaneConfig
+from repro.core.ringlog import RingLog
+
+from tests.core.test_controller import make_stage
+
+
+class TestRingLog:
+    def test_list_semantics(self):
+        log = RingLog()
+        log.append((1.0, "a"))
+        log.append((2.0, "b"))
+        assert len(log) == 2
+        assert list(log) == [(1.0, "a"), (2.0, "b")]
+        assert log == [(1.0, "a"), (2.0, "b")]
+        assert log == ((1.0, "a"), (2.0, "b"))
+        assert log[0] == (1.0, "a")
+        assert log[-1] == (2.0, "b")
+        assert log[0:1] == [(1.0, "a")]
+        assert tuple(log) == ((1.0, "a"), (2.0, "b"))
+        assert bool(log)
+        assert not RingLog()
+
+    def test_capacity_drops_oldest(self):
+        log = RingLog(capacity=3)
+        for i in range(5):
+            log.append(i)
+        assert list(log) == [2, 3, 4]
+        assert len(log) == 3
+        assert log.dropped == 2
+        assert log != [0, 1, 2, 3, 4]
+
+    def test_unbounded_by_default(self):
+        log = RingLog()
+        log.extend(range(100_000))
+        assert len(log) == 100_000
+        assert log.dropped == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigError):
+            RingLog(capacity=0)
+
+    def test_equality_between_ringlogs(self):
+        a = RingLog(initial=[1, 2])
+        b = RingLog(capacity=10, initial=[1, 2])
+        assert a == b
+        b.append(3)
+        assert a != b
+
+
+class TestControlPlaneBoundedLogs:
+    """Regression: enforcement_log / evictions must not grow unboundedly."""
+
+    def test_logs_are_bounded_ring_buffers(self):
+        cp = ControlPlane(config=ControlPlaneConfig(history_limit=8))
+        for i in range(30):
+            cp.enforcement_log.append((float(i), "job", 1.0))
+        assert len(cp.enforcement_log) == 8
+        assert cp.enforcement_log.dropped == 22
+        assert cp.enforcement_log[0] == (22.0, "job", 1.0)
+
+    def test_live_loop_leak_is_bounded(self):
+        """Many ticks with an algorithm enforce per tick; the trail stays
+        within the configured bound instead of leaking one entry per tick."""
+        from repro.core.algorithms import ProportionalSharing
+
+        cp = ControlPlane(
+            config=ControlPlaneConfig(history_limit=16),
+            algorithm=ProportionalSharing(capacity=100.0),
+        )
+        cp.register(make_stage("s0", "jobA"))
+        for t in range(200):
+            cp.tick(float(t))
+        assert cp.loop_iterations == 200
+        assert len(cp.enforcement_log) == 16
+        assert cp.enforcement_log.dropped == 200 - 16
+
+    def test_default_preserves_experiment_semantics(self):
+        # Paper-scale experiments log ~14.4K entries; the default bound
+        # must keep every one of them (golden digests depend on it).
+        config = ControlPlaneConfig()
+        assert config.history_limit is not None
+        assert config.history_limit >= 20_000
+
+    def test_unbounded_opt_out(self):
+        cp = ControlPlane(config=ControlPlaneConfig(history_limit=None))
+        assert cp.enforcement_log.capacity is None

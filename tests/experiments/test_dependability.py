@@ -1,0 +1,68 @@
+"""Short-scale tests of the control-plane dependability experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.dependability import (
+    ORPHAN_POLICY,
+    run_dependability,
+)
+
+
+class TestFaultAxes:
+    def test_error_grows_with_loss(self):
+        points = run_dependability(
+            axis="loss", mode="flat", levels=(0.0, 0.6), duration=60.0
+        )
+        assert points[0].mean_abs_error == 0.0
+        assert points[0].violation_fraction == 0.0
+        assert points[1].mean_abs_error > 0.0
+        assert points[1].violation_fraction > 0.5
+        assert points[1].collect_timeouts > 0
+
+    def test_latency_degrades_monotonically(self):
+        points = run_dependability(
+            axis="latency", mode="flat", levels=(0.0, 1.0, 3.0), duration=60.0
+        )
+        errors = [p.mean_abs_error for p in points]
+        assert errors == sorted(errors)
+        assert errors[-1] > errors[0]
+
+    def test_partition_orphans_decay_to_floor(self):
+        points = run_dependability(
+            axis="partition", mode="flat", levels=(55.0,), duration=100.0
+        )
+        p = points[1]  # level 0 reference is prepended
+        assert p.orphan_transitions > 0
+        # The longest-silent stage converged all the way to the safe floor
+        # before the partition healed.
+        assert p.floor_rate == pytest.approx(ORPHAN_POLICY.floor)
+        # The outage cost settling time relative to the fault-free run.
+        assert p.settling_time >= points[0].settling_time
+        assert p.mean_abs_error > 0.0
+
+    def test_hierarchical_mode_runs_and_matches_at_zero_fault(self):
+        points = run_dependability(
+            axis="loss", mode="hier", levels=(0.0,), duration=60.0
+        )
+        assert points[0].mean_abs_error == 0.0
+        assert points[0].collect_timeouts == 0
+
+    def test_unknown_axis_and_mode(self):
+        with pytest.raises(ConfigError):
+            run_dependability(axis="gremlins")
+        with pytest.raises(ConfigError):
+            run_dependability(mode="diagonal")
+
+
+class TestGrid:
+    def test_dependability_grid_shape(self):
+        from repro.runner import dependability_grid
+
+        cells = dependability_grid(seed=3, duration=90.0)
+        assert len(cells) == 6
+        names = {cell.name for cell in cells}
+        assert "dependability:loss-hier@seed3" in names
+        assert "dependability:partition-flat@seed3" in names

@@ -79,3 +79,38 @@ class TestLiveControlLoop:
     def test_invalid_interval(self):
         with pytest.raises(ConfigError):
             LiveControlLoop(ControlPlane(), interval=0.0)
+
+    def test_loop_survives_tick_errors(self):
+        """Regression: one failing tick must not silently kill the daemon
+        thread -- enforcement continues and the error stays inspectable."""
+        cp = ControlPlane()
+        calls = {"n": 0}
+
+        class FlakyOnce:
+            def allocate(self, demands):
+                calls["n"] += 1
+                if calls["n"] == 1:
+                    raise RuntimeError("transient blip")
+                return {}
+
+        cp.algorithm = FlakyOnce()
+        cp.register(make_live_stage())
+        loop = LiveControlLoop(cp, interval=0.01)
+        loop.start()
+        deadline = time.monotonic() + 2.0
+        while calls["n"] < 5:
+            if time.monotonic() > deadline:
+                pytest.fail("loop stopped ticking after the failed tick")
+            time.sleep(0.01)
+        assert loop.running
+        assert loop.tick_errors == 1
+        assert isinstance(loop.last_error, RuntimeError)
+        with pytest.raises(RuntimeError, match="transient blip"):
+            loop.stop()
+
+    def test_last_error_none_when_clean(self):
+        loop = LiveControlLoop(ControlPlane(), interval=0.01)
+        with loop:
+            time.sleep(0.05)
+        assert loop.last_error is None
+        assert loop.tick_errors == 0

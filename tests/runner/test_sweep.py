@@ -54,7 +54,7 @@ class TestCell:
         assert len(ablation_grid()) == 3
         assert len(harm_grid()) == 2
         assert len(overhead_grid()) == 1
-        assert len(full_grid()) == 15
+        assert len(full_grid()) == 21
 
 
 class TestCacheKeys:

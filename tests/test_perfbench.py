@@ -15,6 +15,7 @@ from repro.cli import main
 from repro.perfbench import (
     PerfbenchConfig,
     bench_classifier,
+    bench_control,
     bench_engine,
     bench_stage,
     run_perfbench,
@@ -38,6 +39,12 @@ class TestMicroBenches:
         result = bench_stage(n_ops=2_000)
         assert result["value"] > 0
         assert result["work"] == 2_000
+
+    def test_control_bench_reports_all_cluster_sizes(self):
+        result = bench_control(n_cycles=10)
+        assert result["value"] > 0
+        assert result["cycles_per_sec_8_stages"] > 0
+        assert result["cycles_per_sec_256_stages"] > 0
 
 
 class TestHarness:
@@ -80,6 +87,7 @@ class TestHarness:
             "engine_events_per_sec",
             "stage_ops_per_sec",
             "classifier_decisions_per_sec",
+            "control_cycles_per_sec",
             "telemetry_off_stage_ops_per_sec",
             "fig4_sim_seconds_per_sec",
             "sweep_cells_per_sec",
