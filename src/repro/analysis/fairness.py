@@ -29,10 +29,15 @@ def _as_alloc(values) -> np.ndarray:
 def jains_index(allocations) -> float:
     """Jain's fairness index: (sum x)^2 / (n * sum x^2), in (0, 1]."""
     arr = _as_alloc(allocations)
-    denom = arr.size * float((arr * arr).sum())
-    if denom == 0:
+    peak = float(arr.max())
+    if peak == 0:
         return 1.0  # everyone got zero: vacuously fair
-    return float(arr.sum()) ** 2 / denom
+    # The index is scale-invariant; normalising by the peak keeps the
+    # squares out of the subnormal range, where the ratio of two
+    # underflowed sums can exceed 1.
+    arr = arr / peak
+    denom = arr.size * float((arr * arr).sum())
+    return min(1.0, float(arr.sum()) ** 2 / denom)
 
 
 def max_min_ratio(allocations) -> float:

@@ -6,10 +6,11 @@ Subcommands::
     padll-repro trace stats trace.csv
     padll-repro trace run --target open --sample-rate 0.05 [--out DIR]
     padll-repro metrics [--format json]
-    padll-repro experiment fig1|fig2|fig4|fig5|overhead|harm|cost-aware
+    padll-repro experiment fig1|fig2|fig4|fig4-sharded|fig5|overhead|harm|...
     padll-repro ablation lag|burst|loop
-    padll-repro sweep fig4|fig5|ablations|harm|overhead|all [--jobs N]
-    padll-repro perfbench [--smoke] [--out DIR]
+    padll-repro sweep fig4|fig5|ablations|harm|overhead|sharded|all [--jobs N]
+    padll-repro sharded [--shards N] [--digest-only]
+    padll-repro perfbench [--smoke] [--out DIR] [--compare [BENCH.json]]
     padll-repro lint [paths ...] [--format json] [--baseline] [--write-baseline]
 
 Each experiment subcommand regenerates the corresponding paper artefact
@@ -121,8 +122,8 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument(
         "name",
         choices=(
-            "fig1", "fig2", "fig4", "fig5", "overhead", "harm", "cost-aware",
-            "dependability",
+            "fig1", "fig2", "fig4", "fig4-sharded", "fig5", "overhead", "harm",
+            "cost-aware", "dependability",
         ),
     )
     exp.add_argument("--seed", type=int, default=0)
@@ -148,7 +149,7 @@ def build_parser() -> argparse.ArgumentParser:
         "grid",
         choices=(
             "fig4", "fig5", "ablations", "harm", "overhead", "dependability",
-            "all",
+            "sharded", "all",
         ),
         help="which artefact grid to run",
     )
@@ -210,8 +211,78 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--out",
         metavar="DIR",
-        default=".",
-        help="directory for BENCH_<stamp>.json (default: current directory)",
+        default="benchmarks",
+        help="directory for BENCH_<stamp>.json (default: benchmarks/)",
+    )
+    bench.add_argument(
+        "--only",
+        metavar="NAME",
+        action="append",
+        default=None,
+        help="run only this benchmark (repeatable)",
+    )
+    bench.add_argument(
+        "--compare",
+        metavar="BENCH.json",
+        nargs="?",
+        const="",
+        default=None,
+        help="diff the fresh run against a committed report (default: the "
+        "latest under the repository's benchmarks/) and exit 3 when any "
+        "benchmark drops past --threshold",
+    )
+    bench.add_argument(
+        "--threshold",
+        type=float,
+        default=0.5,
+        help="relative drop that counts as a regression for --compare "
+        "(0.5 = fresh below half the baseline)",
+    )
+
+    # -- sharded --------------------------------------------------------------------
+    sharded = sub.add_parser(
+        "sharded",
+        help="run a fig4-style experiment on the sharded fluid engine",
+    )
+    sharded.add_argument("--seed", type=int, default=0)
+    sharded.add_argument(
+        "--jobs", type=int, default=100, help="simulated jobs in the cluster"
+    )
+    sharded.add_argument("--stages-per-job", type=int, default=100)
+    sharded.add_argument("--racks", type=int, default=32)
+    sharded.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="worker processes for the rack shards (results are "
+        "bit-identical at any shard count)",
+    )
+    sharded.add_argument("--clients-per-stage", type=int, default=100)
+    sharded.add_argument("--duration", type=float, default=240.0)
+    sharded.add_argument("--step-period", type=float, default=60.0)
+    sharded.add_argument(
+        "--dt",
+        type=float,
+        default=1.0,
+        help="fluid tick length in seconds; the 1 s control epoch must "
+        "be a multiple of it",
+    )
+    sharded.add_argument(
+        "--placement",
+        choices=("split", "job"),
+        default="split",
+        help="split jobs across racks, or pin whole jobs to racks",
+    )
+    sharded.add_argument(
+        "--scalar",
+        action="store_true",
+        help="force the scalar per-stage reference arithmetic "
+        "(the single-engine execution the speedups compare against)",
+    )
+    sharded.add_argument(
+        "--digest-only",
+        action="store_true",
+        help="print only the run digest (CI's shard-invariance check)",
     )
 
     # -- lint -----------------------------------------------------------------------
@@ -413,6 +484,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         from repro.experiments.fig2 import main as run
     elif args.name == "fig4":
         from repro.experiments.fig4 import main as run
+    elif args.name == "fig4-sharded":
+        from repro.experiments.fig4_sharded import main as run
     elif args.name == "fig5":
         from repro.experiments.fig5 import main as run
     elif args.name == "overhead":
@@ -492,6 +565,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         full_grid,
         harm_grid,
         overhead_grid,
+        sharded_grid,
     )
 
     seed = args.seed
@@ -507,6 +581,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "harm": lambda: harm_grid(seed=seed, duration=300.0),
             "overhead": lambda: overhead_grid(seed=seed, duration=120.0),
             "dependability": lambda: dependability_grid(seed=seed, duration=90.0),
+            "sharded": lambda: sharded_grid(
+                seed=seed,
+                n_jobs=8,
+                stages_per_job=4,
+                n_racks=4,
+                clients_per_stage=10,
+                duration=60.0,
+                step_period=15.0,
+            ),
         }
         grids["all"] = lambda: [cell for make in (
             grids["fig4"], grids["fig5"], grids["ablations"],
@@ -520,6 +603,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "harm": lambda: harm_grid(seed=seed),
             "overhead": lambda: overhead_grid(seed=seed),
             "dependability": lambda: dependability_grid(seed=seed),
+            "sharded": lambda: sharded_grid(seed=seed),
             "all": lambda: full_grid(seed=seed),
         }
     cells = grids[args.grid]()
@@ -541,10 +625,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_perfbench(args: argparse.Namespace) -> int:
+    import json
     from pathlib import Path
 
-    from repro.perfbench import PerfbenchConfig, run_perfbench, save_report
+    from repro.perfbench import (
+        DEFAULT_BENCH_DIR,
+        PerfbenchConfig,
+        compare_reports,
+        latest_report,
+        run_perfbench,
+        save_report,
+    )
 
+    repo_root = Path(__file__).resolve().parents[2]
     scale, repeats, warmup = args.scale, args.repeats, args.warmup
     if args.smoke:
         scale, repeats, warmup = 0.05, 1, 0
@@ -553,6 +646,29 @@ def _cmd_perfbench(args: argparse.Namespace) -> int:
         print(f"error: --out {args.out!r} exists and is not a directory",
               file=sys.stderr)
         return 2
+    # Resolve the comparison baseline *before* running: when --compare is
+    # given without a path we take the newest committed BENCH_*.json, and
+    # the report we are about to save must not shadow it.
+    baseline: Optional[dict] = None
+    if args.compare is not None:
+        if args.compare == "":
+            baseline_path = latest_report(repo_root / DEFAULT_BENCH_DIR)
+            if baseline_path is None:
+                print(
+                    f"error: --compare found no BENCH_*.json under "
+                    f"{repo_root / DEFAULT_BENCH_DIR}",
+                    file=sys.stderr,
+                )
+                return 2
+        else:
+            baseline_path = Path(args.compare)
+        try:
+            with open(baseline_path, "r", encoding="utf-8") as fh:
+                baseline = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read baseline {baseline_path}: {exc}",
+                  file=sys.stderr)
+            return 2
     try:
         config = PerfbenchConfig(
             seed=args.seed,
@@ -561,15 +677,78 @@ def _cmd_perfbench(args: argparse.Namespace) -> int:
             label=args.label,
             warmup=warmup,
         )
+        if args.compare is not None and not 0.0 < args.threshold < 1.0:
+            raise ValueError(
+                f"--threshold must be in (0, 1), got {args.threshold}"
+            )
+        # Resolve the git SHA against the source checkout, not the caller's
+        # cwd (for an installed package this still degrades to "unknown").
+        report = run_perfbench(config, repo_root=repo_root, only=args.only)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    # Resolve the git SHA against the source checkout, not the caller's
-    # cwd (for an installed package this still degrades to "unknown").
-    report = run_perfbench(config, repo_root=Path(__file__).resolve().parents[2])
     path = save_report(report, out_dir)
     print(report.summary())
     print(f"wrote {path}")
+    if baseline is None:
+        return 0
+    comparisons = compare_reports(baseline, report.to_dict(), args.threshold)
+    print(f"compare vs {baseline_path} (threshold {args.threshold:.0%} drop):")
+    regressed = False
+    for comp in comparisons:
+        if comp.change is None:
+            status = "only in " + ("fresh" if comp.baseline is None else "baseline")
+            print(f"  {comp.name:<36} {status}")
+            continue
+        marker = "REGRESSED" if comp.regressed else "ok"
+        print(
+            f"  {comp.name:<36} {comp.baseline:>14,.0f} -> "
+            f"{comp.fresh:>14,.0f} {comp.unit:<12} "
+            f"{comp.change:+7.1%}  {marker}"
+        )
+        regressed = regressed or comp.regressed
+    return 3 if regressed else 0
+
+
+def _cmd_sharded(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigError
+    from repro.experiments.fig4_sharded import run_fig4_sharded
+
+    try:
+        result = run_fig4_sharded(
+            seed=args.seed,
+            n_jobs=args.jobs,
+            stages_per_job=args.stages_per_job,
+            n_racks=args.racks,
+            n_shards=args.shards,
+            clients_per_stage=args.clients_per_stage,
+            duration=args.duration,
+            step_period=args.step_period,
+            placement=args.placement,
+            vectorized=not args.scalar,
+            dt=args.dt,
+        )
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.digest_only:
+        print(result.digest())
+        return 0
+    config = result.results["padll"].config
+    print(
+        f"sharded fig4: {config.n_jobs} jobs x {config.stages_per_job} stages "
+        f"= {config.n_stages} stages ({result.n_clients:,} clients) on "
+        f"{config.n_racks} racks / {config.n_shards} shard(s), "
+        f"placement={config.placement}"
+    )
+    for name in sorted(result.series):
+        series = result.series[name]
+        print(
+            f"  {name:<9} mean {float(series.mean()):>12,.1f} ops/s  "
+            f"peak {float(series.max()):>12,.1f} ops/s"
+        )
+    print(f"  limits    {[round(v, 1) for v in result.limits]}")
+    print(f"digest {result.digest()}")
     return 0
 
 
@@ -654,6 +833,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_sweep(args)
         if args.command == "perfbench":
             return _cmd_perfbench(args)
+        if args.command == "sharded":
+            return _cmd_sharded(args)
         if args.command == "lint":
             return _cmd_lint(args)
         if args.command == "policy":

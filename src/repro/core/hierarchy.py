@@ -23,12 +23,39 @@ Under faults, collect the aggregates through the async session machinery
 (``ControlPlaneConfig.async_collect=True``): the sessions poll local
 controllers instead of stages, and evicting an unresponsive local evicts
 all of its stages at once.
+
+Split-job placement / demand-merge protocol
+-------------------------------------------
+Jobs are *not* required to live on one rack.  When a job's stages span
+several locals, each local reports a **partial** per-job demand in its
+:class:`AggregateStats` (folded with the flat plane's exact expression
+over just its hosted stages), and ``_job_demands`` merges the partials
+at the global tier: ``sum over locals of partial * staleness_discount``,
+where the discount ``0.5 ** (age / stale_halflife)`` is per-*local* --
+one slow rack dims only its own contribution to a spanning job, not its
+rack-mates'.  Enforcement fans back out with the per-stage split
+``max(min_rate, rate / job.n_stages)`` computed **once** at the global
+tier from the job's *total* stage count, then pushed to every hosting
+local exactly once.  The algorithm's cycle pushes travel batched -- one
+:class:`EnforceJobRateBatch` per hosting local per cycle, entries in
+allocation order -- so a cycle costs O(locals) messages instead of
+O(jobs x locals); a local that does not understand batches still sees
+per-job :class:`EnforceJobRate` semantics (``RackEndpoint`` unpacks).
+With a single-rack job this reduces term-for-term to the
+whole-job-per-rack behaviour (one partial, one push), which is why the
+flat-equivalence contract above survives split placement.
+
+Racks need not be in-process objects: :class:`RackEndpoint` is a proxy
+local whose collect/enforce verbs are plain callables, and
+``register_remote`` registers a stage that lives elsewhere (for example
+inside a :class:`~repro.simulation.sharded.ShardedSimulation` worker
+process) with global bookkeeping identical to ``register_stage``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, NamedTuple, Optional, Tuple
 
 from repro.errors import ConfigError, RPCError, StageNotRegistered
 from repro.core.algorithms import JobDemand
@@ -47,7 +74,9 @@ __all__ = [
     "JobAggregate",
     "AggregateStats",
     "EnforceJobRate",
+    "EnforceJobRateBatch",
     "LocalController",
+    "RackEndpoint",
     "HierarchicalControlPlane",
 ]
 
@@ -61,9 +90,15 @@ class CollectAggregate(RpcMessage):
     loop_interval: float
 
 
-@dataclass(frozen=True, slots=True)
-class JobAggregate:
-    """One job's demand partial as seen by one local controller."""
+class JobAggregate(NamedTuple):
+    """One job's demand partial as seen by one local controller.
+
+    A :class:`~typing.NamedTuple` (field order ``job_id, demand,
+    n_stages``) rather than a dataclass: the sharded coordinator wraps
+    ~``n_racks * n_jobs`` of these per epoch, and ``JobAggregate._make``
+    over a raw partial triple is a single C call where a dataclass
+    ``__init__`` costs three ``object.__setattr__`` round trips.
+    """
 
     job_id: str
     demand: float
@@ -72,7 +107,13 @@ class JobAggregate:
 
 @dataclass(frozen=True, slots=True)
 class AggregateStats:
-    """A local controller's reply to :class:`CollectAggregate`."""
+    """A local controller's reply to :class:`CollectAggregate`.
+
+    ``jobs`` entries are :class:`JobAggregate` named tuples or any raw
+    ``(job_id, demand, n_stages)`` triple with the same layout -- every
+    plane-side consumer unpacks positionally, which lets high-volume
+    reporters (the sharded coordinator) skip per-entry wrapping.
+    """
 
     local_id: str
     timestamp: float
@@ -88,6 +129,25 @@ class EnforceJobRate(RpcMessage):
     rate: float
     now: float
     burst: Optional[float] = None
+
+
+@dataclass(frozen=True, slots=True)
+class EnforceJobRateBatch(RpcMessage):
+    """One control cycle's enforcement pushes to one local, batched.
+
+    ``entries`` is ``(job_id, rate, burst)`` triples in allocation
+    order, each rate already per-stage split at the global tier --
+    semantically identical to sending one :class:`EnforceJobRate` per
+    entry, but it turns the algorithm's fan-out from
+    ``O(jobs x hosting locals)`` messages per cycle into ``O(locals)``.
+    On a faulty fabric the batch is one message: losing it loses the
+    local's whole cycle of rates, which is exactly how a real batched
+    push RPC fails.
+    """
+
+    channel_id: str
+    now: float
+    entries: Tuple[Tuple[str, float, Optional[float]], ...]
 
 
 class LocalController:
@@ -153,6 +213,12 @@ class LocalController:
             return self._collect_aggregate(message)
         if isinstance(message, EnforceJobRate):
             return self._enforce_job_rate(message)
+        if isinstance(message, EnforceJobRateBatch):
+            for job_id, rate, burst in message.entries:
+                self._apply_job_rate(
+                    job_id, message.channel_id, rate, message.now, burst
+                )
+            return True
         if isinstance(message, Ping):
             return message.payload
         raise RPCError(
@@ -192,21 +258,128 @@ class LocalController:
         )
 
     def _enforce_job_rate(self, message: EnforceJobRate) -> bool:
-        for stage_id in self._job_stages.get(message.job_id, ()):
+        return self._apply_job_rate(
+            message.job_id,
+            message.channel_id,
+            message.rate,
+            message.now,
+            message.burst,
+        )
+
+    def _apply_job_rate(
+        self,
+        job_id: str,
+        channel_id: str,
+        rate: float,
+        now: float,
+        burst: Optional[float],
+    ) -> bool:
+        for stage_id in self._job_stages.get(job_id, ()):
             handler = self._handlers[stage_id]
             try:
                 handler(
                     EnforceRate(
-                        channel_id=message.channel_id,
-                        rate=message.rate,
-                        now=message.now,
-                        burst=message.burst,
+                        channel_id=channel_id,
+                        rate=rate,
+                        now=now,
+                        burst=burst,
                     )
                 )
             except ConfigError:
                 # The stage has no such channel: the rule does not apply.
                 continue
         return True
+
+
+class RackEndpoint:
+    """A proxy local controller whose stages live out of process.
+
+    Duck-type compatible with :class:`LocalController` everywhere the
+    :class:`HierarchicalControlPlane` touches a local (``local_id``,
+    ``handle``, ``stage_ids``, ``deregister``), but the two control
+    verbs are delegated to caller-supplied functions:
+
+    * ``collect(local_id, message)`` answers :class:`CollectAggregate`
+      with an :class:`AggregateStats` (partial per-job demands for the
+      rack's remote stages);
+    * ``enforce(local_id, message)`` delivers an :class:`EnforceJobRate`
+      to wherever the rack's stages actually run.
+
+    The sharded simulation uses this to drive the *real* global plane --
+    demand merge, staleness discounting, liveness eviction, telemetry --
+    while the data planes advance in worker processes.
+    """
+
+    def __init__(
+        self,
+        local_id: str,
+        collect: Callable[[str, CollectAggregate], AggregateStats],
+        enforce: Callable[[str, EnforceJobRate], Any],
+        enforce_batch: Optional[
+            Callable[[str, EnforceJobRateBatch], Any]
+        ] = None,
+    ) -> None:
+        if not local_id:
+            raise ConfigError("rack endpoint needs an id")
+        self.local_id = local_id
+        self._collect = collect
+        self._enforce = enforce
+        #: Optional batched-enforcement verb.  Without it a batch is
+        #: unpacked into per-job ``enforce`` calls, so callers that only
+        #: care about per-job semantics need not know batches exist.
+        self._enforce_batch = enforce_batch
+        #: stage_id -> StageIdentity, in adoption (registration) order.
+        self._identities: Dict[str, StageIdentity] = {}
+
+    @property
+    def stage_ids(self) -> List[str]:
+        return list(self._identities)
+
+    @property
+    def identities(self) -> Dict[str, StageIdentity]:
+        return dict(self._identities)
+
+    def adopt(self, identity: StageIdentity) -> None:
+        """Record a remote stage as hosted by this rack."""
+        if identity.stage_id in self._identities:
+            raise ConfigError(
+                f"stage {identity.stage_id!r} already adopted by rack "
+                f"{self.local_id!r}"
+            )
+        self._identities[identity.stage_id] = identity
+
+    def deregister(self, stage_id: str) -> None:
+        if self._identities.pop(stage_id, None) is None:
+            raise StageNotRegistered(
+                f"stage {stage_id!r} not adopted by rack {self.local_id!r}"
+            )
+
+    def handle(self, message: RpcMessage) -> Any:
+        if isinstance(message, CollectAggregate):
+            return self._collect(self.local_id, message)
+        if isinstance(message, EnforceJobRate):
+            return self._enforce(self.local_id, message)
+        if isinstance(message, EnforceJobRateBatch):
+            if self._enforce_batch is not None:
+                return self._enforce_batch(self.local_id, message)
+            for job_id, rate, burst in message.entries:
+                self._enforce(
+                    self.local_id,
+                    EnforceJobRate(
+                        job_id=job_id,
+                        channel_id=message.channel_id,
+                        rate=rate,
+                        now=message.now,
+                        burst=burst,
+                    ),
+                )
+            return True
+        if isinstance(message, Ping):
+            return message.payload
+        raise RPCError(
+            f"rack {self.local_id!r}: unhandled message type "
+            f"{type(message).__name__}"
+        )
 
 
 class HierarchicalControlPlane(ControlPlane):
@@ -221,17 +394,25 @@ class HierarchicalControlPlane(ControlPlane):
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
-        #: local_id -> LocalController, in attach order.
-        self._locals: Dict[str, LocalController] = {}
+        #: local_id -> LocalController or RackEndpoint, in attach order.
+        self._locals: Dict[str, Any] = {}
         #: stage_id -> hosting local_id.
         self._stage_local: Dict[str, str] = {}
+        # job_id -> hosting locals (first-appearance order over the
+        # job's stage list), rebuilt lazily whenever placement changes.
+        # Enforcement reads this every cycle; placement changes only at
+        # registration/eviction time, so the cache is almost always warm.
+        self._placement_version = 0
+        self._hosting_version = -1
+        self._hosting_locals: Dict[str, List[str]] = {}
 
     # -- topology ----------------------------------------------------------
     @property
-    def locals(self) -> Dict[str, LocalController]:
+    def locals(self) -> Dict[str, Any]:
         return dict(self._locals)
 
-    def attach_local(self, local: LocalController) -> None:
+    def attach_local(self, local) -> None:
+        """Attach a :class:`LocalController` or :class:`RackEndpoint`."""
         if local.local_id in self._locals:
             raise ConfigError(f"local {local.local_id!r} already attached")
         self.fabric.bind(local.local_id, local.handle)
@@ -258,8 +439,39 @@ class HierarchicalControlPlane(ControlPlane):
         if identity.stage_id in self._stages:
             raise ConfigError(f"stage {identity.stage_id!r} already registered")
         local.register(stage)
+        self._record_stage(identity, local_id, now)
+
+    def register_remote(
+        self, identity: StageIdentity, local_id: str, now: float = 0.0
+    ) -> None:
+        """Register a stage that lives outside this process.
+
+        The hosting local must be a :class:`RackEndpoint` (or expose the
+        same ``adopt`` verb): the stage's data plane runs elsewhere, so
+        only its identity is recorded here.  Global bookkeeping -- job
+        membership, stage->local mapping, n_stages for the enforcement
+        split -- is identical to :meth:`register_stage`.
+        """
+        local = self._locals.get(local_id)
+        if local is None:
+            raise ConfigError(f"no local controller {local_id!r} attached")
+        adopt = getattr(local, "adopt", None)
+        if adopt is None:
+            raise ConfigError(
+                f"local {local_id!r} cannot adopt remote stages; "
+                "use register_stage"
+            )
+        if identity.stage_id in self._stages:
+            raise ConfigError(f"stage {identity.stage_id!r} already registered")
+        adopt(identity)
+        self._record_stage(identity, local_id, now)
+
+    def _record_stage(
+        self, identity: StageIdentity, local_id: str, now: float
+    ) -> None:
         self._stages[identity.stage_id] = identity
         self._stage_local[identity.stage_id] = local_id
+        self._placement_version += 1
         job = self._jobs.get(identity.job_id)
         if job is None:
             job = JobInfo(job_id=identity.job_id, registered_at=now)
@@ -271,12 +483,37 @@ class HierarchicalControlPlane(ControlPlane):
         if local_id is None:
             raise StageNotRegistered(f"stage {stage_id!r} not registered")
         identity = self._stages.pop(stage_id)
+        self._placement_version += 1
         self._locals[local_id].deregister(stage_id)
         self._last_stats.pop(stage_id, None)
         job = self._jobs[identity.job_id]
         job.stage_ids.remove(stage_id)
         if not job.stage_ids:
             del self._jobs[identity.job_id]
+
+    def _job_hosting_locals(self, job_id: str) -> List[str]:
+        """Locals hosting ``job_id``'s stages, in first-appearance order.
+
+        Exactly the order the per-push fan-out's dedup-while-scanning
+        produced; cached across cycles because enforcement walks it for
+        every allocated job.
+        """
+        if self._hosting_version != self._placement_version:
+            stage_local = self._stage_local
+            mapping: Dict[str, List[str]] = {}
+            for jid, job in self._jobs.items():
+                seen: set = set()
+                hosts: List[str] = []
+                for stage_id in job.stage_ids:
+                    local_id = stage_local.get(stage_id)
+                    if local_id is None or local_id in seen:
+                        continue
+                    seen.add(local_id)
+                    hosts.append(local_id)
+                mapping[jid] = hosts
+            self._hosting_locals = mapping
+            self._hosting_version = self._placement_version
+        return self._hosting_locals.get(job_id, [])
 
     # -- collect -----------------------------------------------------------
     def _collect_endpoints(self) -> List[str]:
@@ -325,12 +562,15 @@ class HierarchicalControlPlane(ControlPlane):
                 age = ages.get(local_id, 0.0)
                 if age > 0.0:
                     discount = 0.5 ** (age / halflife)
-            for ja in agg.jobs:
-                if ja.job_id not in self._jobs:
+            # Positional unpack: entries are JobAggregate named tuples
+            # or raw (job_id, demand, n_stages) triples -- same layout.
+            for job_id, demand, _n_stages in agg.jobs:
+                if job_id not in self._jobs:
                     continue  # job finished since the aggregate was taken
-                demand = ja.demand if discount == 1.0 else ja.demand * discount
-                per_job_demand[ja.job_id] = (
-                    per_job_demand.get(ja.job_id, 0.0) + demand
+                if discount != 1.0:
+                    demand = demand * discount
+                per_job_demand[job_id] = (
+                    per_job_demand.get(job_id, 0.0) + demand
                 )
         return [
             JobDemand(
@@ -356,12 +596,7 @@ class HierarchicalControlPlane(ControlPlane):
         # locals receive a final per-stage rate, so no re-association.
         per_stage = max(self.config.min_rate, rate / job.n_stages)
         per_burst = None if burst is None else max(burst / job.n_stages, per_stage)
-        pushed: set = set()
-        for stage_id in job.stage_ids:
-            local_id = self._stage_local.get(stage_id)
-            if local_id is None or local_id in pushed:
-                continue
-            pushed.add(local_id)
+        for local_id in self._job_hosting_locals(job_id):
             try:
                 self.fabric.call(
                     local_id,
@@ -376,12 +611,61 @@ class HierarchicalControlPlane(ControlPlane):
             except RPCError:
                 self.collect_failures += 1
 
+    def _enforce_algorithm(
+        self, now: float, stats: Dict[str, AggregateStats]
+    ) -> tuple[Optional[List[JobDemand]], Optional[Dict[str, float]]]:
+        """Allocate, log, and fan rates out in per-local batches.
+
+        Same demand merge, clamping, logging, and per-stage split as the
+        base per-job path, but the pushes for one cycle are grouped into
+        one :class:`EnforceJobRateBatch` per hosting local: a job
+        spanning R racks costs R batch *entries*, not R messages, so a
+        cycle sends O(locals) RPCs instead of O(jobs x locals).  Within
+        each batch the entries keep allocation order, which is the order
+        the per-job path delivered them to that local.
+        """
+        demands = self._job_demands(stats)
+        if not demands:
+            return None, None
+        allocation = self.algorithm.allocate(demands)
+        min_rate = self.config.min_rate
+        enforced: Dict[str, float] = {}
+        batches: Dict[str, List[Tuple[str, float, Optional[float]]]] = {}
+        for job_id, rate in allocation.items():
+            rate = max(min_rate, rate)
+            enforced[job_id] = rate
+            self.enforcement_log.append((now, job_id, rate))
+            job = self._jobs.get(job_id)
+            if job is None or not job.stage_ids:
+                continue
+            per_stage = max(min_rate, rate / job.n_stages)
+            entry = (job_id, per_stage, None)
+            for local_id in self._job_hosting_locals(job_id):
+                batch = batches.get(local_id)
+                if batch is None:
+                    batches[local_id] = [entry]
+                else:
+                    batch.append(entry)
+        channel = self.config.algorithm_channel
+        for local_id, entries in batches.items():
+            try:
+                self.fabric.call(
+                    local_id,
+                    EnforceJobRateBatch(
+                        channel_id=channel, now=now, entries=tuple(entries)
+                    ),
+                )
+            except RPCError:
+                self.collect_failures += 1
+        return demands, enforced
+
     # -- liveness ----------------------------------------------------------
     def _evict(self, endpoint: str) -> None:
         """Evict an unresponsive local controller and all of its stages."""
         local = self._locals.pop(endpoint, None)
         if local is None:
             raise StageNotRegistered(f"local {endpoint!r} not attached")
+        self._placement_version += 1
         self.fabric.unbind(endpoint)
         self._last_stats.pop(endpoint, None)
         self._missed_collects.pop(endpoint, None)
@@ -406,8 +690,8 @@ class HierarchicalControlPlane(ControlPlane):
         per-channel stage snapshots."""
         observed = {
             local_id: {
-                ja.job_id: {"demand": ja.demand, "n_stages": ja.n_stages}
-                for ja in agg.jobs
+                job_id: {"demand": demand, "n_stages": n_stages}
+                for job_id, demand, n_stages in agg.jobs
             }
             for local_id, agg in stats.items()
             if isinstance(agg, AggregateStats)

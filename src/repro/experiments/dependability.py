@@ -6,8 +6,10 @@ are lost, delayed, or partitioned away?  This experiment quantifies it.
 One fault *axis* at a time (message loss probability, link latency, or a
 scripted full partition window), one control-plane *mode* at a time
 (``flat`` talks to every stage; ``hier`` talks to per-rack local
-controllers), each faulty run is compared against the same mode's
-fault-free reference run:
+controllers hosting whole jobs; ``hier-split`` gives every job two
+stages placed on *different* racks, so the global tier merges partial
+per-job demands while links fail), each faulty run is compared against
+the same mode's fault-free reference run:
 
 * **mean_abs_error** -- mean |enforced - reference| over every (cycle,
   job) pair, using last-enforced-rate semantics (what the data plane
@@ -48,7 +50,7 @@ __all__ = [
 ]
 
 N_JOBS = 4
-MODES = ("flat", "hier")
+MODES = ("flat", "hier", "hier-split")
 #: axis -> default fault levels (level 0 doubles as the reference run).
 FAULT_AXES: Dict[str, Tuple[float, ...]] = {
     "loss": (0.0, 0.1, 0.3, 0.6),
@@ -116,11 +118,15 @@ def _build_world(
             stale_halflife=2.0,
             seed=seed,
         ),
-        hierarchical=(mode == "hier"),
+        hierarchical=(mode != "flat"),
         n_racks=2,
+        placement="split" if mode == "hier-split" else "job",
         orphan_policy=ORPHAN_POLICY,
     )
     trace = generate_mdt_trace(seed=seed, duration=duration * 60.0)
+    # hier-split: two stages per job on different racks, so every job's
+    # demand reaches the global tier as partials that must be merged.
+    n_stages = 2 if mode == "hier-split" else 1
     for i in range(N_JOBS):
         world.add_job(
             JobSpec(
@@ -132,6 +138,7 @@ def _build_world(
                 # job-specific (an equal split would mask signal loss).
                 rate_scale=0.3 + 0.15 * i,
                 initial_rate=cap / N_JOBS,
+                n_stages=n_stages,
             )
         )
     if partition is not None:

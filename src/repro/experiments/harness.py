@@ -194,6 +194,7 @@ class ReplayWorld:
         controller_config: Optional[ControlPlaneConfig] = None,
         hierarchical: bool = False,
         n_racks: int = 2,
+        placement: str = "job",
         orphan_policy: Optional[OrphanPolicy] = None,
     ) -> None:
         if dt <= 0:
@@ -202,6 +203,10 @@ class ReplayWorld:
             raise ConfigError(f"sample period must be positive, got {sample_period}")
         if n_racks < 1:
             raise ConfigError(f"n_racks must be >= 1, got {n_racks}")
+        if placement not in ("job", "split"):
+            raise ConfigError(
+                f"placement must be 'job' or 'split', got {placement!r}"
+            )
         self.setup = setup
         self.dt = float(dt)
         self.sample_period = float(sample_period)
@@ -231,11 +236,14 @@ class ReplayWorld:
             loop_interval=loop_interval, algorithm_channel=algorithm_channel
         )
         self.hierarchical = hierarchical
+        self.placement = placement
         self.orphan_policy = orphan_policy
         if hierarchical:
-            # Per-rack local controllers; jobs are placed whole-job-per-rack
-            # (add order, round robin) so the hierarchy is enforcement-
-            # equivalent to the flat plane on a fault-free fabric.
+            # Per-rack local controllers.  placement="job" pins whole jobs
+            # to racks (add order, round robin) so the hierarchy is
+            # enforcement-equivalent to the flat plane on a fault-free
+            # fabric; placement="split" spreads each job's stages across
+            # racks so the global tier merges partial per-job demands.
             self.controller = HierarchicalControlPlane(
                 fabric=fabric,
                 config=config,
@@ -254,6 +262,7 @@ class ReplayWorld:
             )
             self.racks = []
         self._job_rack: Dict[str, str] = {}
+        self._job_base: Dict[str, int] = {}
         if health_aware:
             # The control plane's global visibility includes PFS health:
             # during an MDS outage it pauses enforcement so backlog stays
@@ -294,6 +303,21 @@ class ReplayWorld:
             rack = self.racks[len(self._job_rack) % len(self.racks)].local_id
             self._job_rack[job_id] = rack
         return rack
+
+    def _rack_for_stage(self, job_id: str, stage_index: int) -> str:
+        """Rack hosting one stage of a job, per the placement policy.
+
+        ``split`` places stage ``i`` of the ``k``-th started job on rack
+        ``(k + i) % n_racks``, so multi-stage jobs span racks; with one
+        stage per job this reduces exactly to the whole-job round robin.
+        """
+        if self.placement == "job":
+            return self._rack_for_job(job_id)
+        base = self._job_base.get(job_id)
+        if base is None:
+            base = len(self._job_base)
+            self._job_base[job_id] = base
+        return self.racks[(base + stage_index) % len(self.racks)].local_id
 
     # -- job wiring -----------------------------------------------------------------
     def _deliver(self, runtime: _JobRuntime, request: Request) -> None:
@@ -594,7 +618,9 @@ class ReplayWorld:
                 runtime.stages.append(stage)
                 if self.hierarchical:
                     self.controller.register_stage(
-                        stage, self._rack_for_job(spec.job_id), now=self.env.now
+                        stage,
+                        self._rack_for_stage(spec.job_id, i),
+                        now=self.env.now,
                     )
                 else:
                     self.controller.register(stage, now=self.env.now)

@@ -35,6 +35,12 @@ class LintConfig:
     #: randomness from threaded Generators (DET001/DET004 scope).
     deterministic_layers: Tuple[str, ...] = (
         "repro.simulation",
+        # Covered by the 'repro.simulation' prefix already, but the sharded
+        # engine is listed explicitly: its worker processes make wall-clock
+        # or unthreaded-RNG leaks especially corrosive (they would silently
+        # break the 1-shard == N-shard bit-identity contract), so the entry
+        # must survive any future narrowing of the parent prefix.
+        "repro.simulation.sharded",
         "repro.pfs",
         "repro.core",
         "repro.experiments",

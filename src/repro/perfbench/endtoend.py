@@ -8,12 +8,13 @@ metric is simulated seconds per wall second, so higher is faster.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Dict
 
 from repro.experiments.fig4 import run_fig4_metadata
 
-__all__ = ["bench_fig4"]
+__all__ = ["bench_fig4", "bench_fig4_sharded"]
 
 
 def bench_fig4(
@@ -39,4 +40,62 @@ def bench_fig4(
         "work": sim_seconds,
         "elapsed_s": elapsed,
         "n_limits": float(len(result.limits)),
+    }
+
+
+def bench_fig4_sharded(
+    seed: int = 0,
+    n_jobs: int = 100,
+    stages_per_job: int = 100,
+    duration: float = 60.0,
+) -> Dict[str, float]:
+    """Sharded fig4 at 10^6 simulated clients, vs the single-engine path.
+
+    Times the vectorised multi-shard run (``value`` = simulated seconds
+    per wall second over both phases), then repeats the identical
+    configuration on one in-process shard with the scalar per-stage
+    reference arithmetic -- the "single-engine" execution.  The detail
+    records ``speedup_vs_single_engine`` (the acceptance criterion's
+    >= 10x figure) and ``digest_match`` (1.0 when the two runs' full
+    outputs are bit-identical, which they must be).
+
+    The fluid tick is ``dt=0.2`` -- five fluid ticks per 1 s control
+    epoch -- so the measurement weights the per-stage data-plane
+    arithmetic the way a deployment-resolution run would, rather than
+    letting the shared control-plane cost (identical in both runs by
+    construction) dominate the ratio.
+    """
+    from repro.experiments.fig4_sharded import run_fig4_sharded
+
+    n_racks = min(16, max(1, n_jobs))
+    n_shards = min(4, n_racks, os.cpu_count() or 1)
+    step_period = duration / 4.0
+    common = dict(
+        seed=seed,
+        n_jobs=n_jobs,
+        stages_per_job=stages_per_job,
+        n_racks=n_racks,
+        clients_per_stage=100,
+        duration=duration,
+        step_period=step_period,
+        dt=0.2,
+    )
+    start = time.perf_counter()
+    sharded = run_fig4_sharded(n_shards=n_shards, vectorized=True, **common)
+    sharded_elapsed = time.perf_counter() - start
+    start = time.perf_counter()
+    single = run_fig4_sharded(n_shards=1, vectorized=False, **common)
+    single_elapsed = time.perf_counter() - start
+    # Two phases (baseline + padll) each simulate the window.
+    sim_seconds = 2.0 * duration
+    return {
+        "value": sim_seconds / sharded_elapsed,
+        "work": sim_seconds,
+        "elapsed_s": sharded_elapsed,
+        "single_engine_elapsed_s": single_elapsed,
+        "speedup_vs_single_engine": single_elapsed / sharded_elapsed,
+        "digest_match": 1.0 if sharded.digest() == single.digest() else 0.0,
+        "n_stages": float(sharded.config.n_stages),
+        "n_clients": float(sharded.n_clients),
+        "n_shards": float(n_shards),
     }

@@ -1,10 +1,11 @@
 """Perfbench orchestration: run the benchmarks, stamp and save the report.
 
-Reports are JSON files named ``BENCH_<UTC stamp>.json`` written at the
-repository root (or ``--out``).  Each report carries enough provenance --
-git SHA, seed, timestamp, machine info, benchmark parameters -- that any
-two points of the trajectory can be compared meaningfully.  The schema is
-documented in ``docs/PERFORMANCE.md``.
+Reports are JSON files named ``BENCH_<UTC stamp>.json`` written under the
+repository's ``benchmarks/`` directory (or ``--out``).  Each report
+carries enough provenance -- git SHA, seed, timestamp, machine info,
+benchmark parameters -- that any two points of the trajectory can be
+compared meaningfully; :func:`compare_reports` is the diff CI gates on.
+The schema is documented in ``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
@@ -16,29 +17,37 @@ import subprocess
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, Mapping, Optional
+from typing import Any, Callable, Dict, List, Mapping, Optional
 
 from repro import __version__
-from repro.perfbench.endtoend import bench_fig4
+from repro.perfbench.endtoend import bench_fig4, bench_fig4_sharded
 from repro.perfbench.micro import (
     bench_classifier,
     bench_control,
     bench_engine,
+    bench_sharded_control,
     bench_stage,
     bench_telemetry,
 )
 from repro.perfbench.sweepbench import bench_sweep
 
 __all__ = [
+    "DEFAULT_BENCH_DIR",
     "SCHEMA_VERSION",
+    "BenchmarkComparison",
     "BenchmarkResult",
     "PerfbenchConfig",
     "PerfbenchReport",
+    "compare_reports",
+    "latest_report",
     "run_perfbench",
     "save_report",
 ]
 
 SCHEMA_VERSION = 1
+
+#: Canonical committed-report location, relative to the repository root.
+DEFAULT_BENCH_DIR = "benchmarks"
 
 
 @dataclass(frozen=True, slots=True)
@@ -179,8 +188,14 @@ def _best_of(
 def run_perfbench(
     config: Optional[PerfbenchConfig] = None,
     repo_root: Optional[Path] = None,
+    only: Optional[List[str]] = None,
 ) -> PerfbenchReport:
-    """Run every registered benchmark and return the stamped report."""
+    """Run the registered benchmarks and return the stamped report.
+
+    ``only`` restricts the run to the named benchmarks (CI's
+    ``sharded-smoke`` job uses it to produce the full-scale 10^4-stage
+    point without paying for the whole suite).
+    """
     config = config or PerfbenchConfig()
     scale = config.scale
     started = time.time()
@@ -220,7 +235,31 @@ def run_perfbench(
             "cells/s",
             lambda: bench_sweep(seed=config.seed, scale=scale),
         ),
+        "sharded_control_cycles_per_sec": (
+            "cycles/s",
+            lambda: bench_sharded_control(
+                n_stages=max(400, int(10_000 * scale)),
+                n_cycles=max(5, int(50 * scale)),
+            ),
+        ),
+        "fig4_sharded_sim_seconds_per_sec": (
+            "sim-s/s",
+            lambda: bench_fig4_sharded(
+                seed=config.seed,
+                n_jobs=max(5, int(100 * scale)),
+                stages_per_job=max(4, int(100 * scale)),
+                duration=max(20.0, 60.0 * scale),
+            ),
+        ),
     }
+
+    if only:
+        unknown = sorted(set(only) - set(specs))
+        if unknown:
+            raise ValueError(
+                f"unknown benchmark(s) {unknown}; known: {sorted(specs)}"
+            )
+        specs = {name: spec for name, spec in specs.items() if name in only}
 
     benchmarks: Dict[str, BenchmarkResult] = {}
     for name, (unit, fn) in specs.items():
@@ -248,3 +287,75 @@ def save_report(report: PerfbenchReport, out_dir: Path) -> Path:
         json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
         fh.write("\n")
     return path
+
+
+def latest_report(bench_dir: Path) -> Optional[Path]:
+    """Newest committed ``BENCH_*.json`` under ``bench_dir`` (by stamp).
+
+    The UTC stamp embedded in the filename sorts lexicographically in
+    time order, so no filesystem mtimes are consulted.
+    """
+    bench_dir = Path(bench_dir)
+    if not bench_dir.is_dir():
+        return None
+    candidates = sorted(bench_dir.glob("BENCH_*.json"))
+    return candidates[-1] if candidates else None
+
+
+@dataclass(frozen=True, slots=True)
+class BenchmarkComparison:
+    """One benchmark's fresh-vs-baseline outcome."""
+
+    name: str
+    unit: str
+    baseline: Optional[float]
+    fresh: Optional[float]
+    #: fresh/baseline - 1 (negative = slower); None when either is missing.
+    change: Optional[float]
+    regressed: bool
+
+
+def compare_reports(
+    baseline: Mapping[str, Any],
+    fresh: Mapping[str, Any],
+    threshold: float = 0.5,
+) -> List[BenchmarkComparison]:
+    """Diff two report dicts; flag drops larger than ``threshold``.
+
+    Every metric is work/second, so *lower* is worse: a benchmark
+    regresses when ``fresh < baseline * (1 - threshold)``.  Benchmarks
+    present in only one report are listed with ``change=None`` and never
+    regress (new benchmarks must not fail the gate retroactively).
+    Callers decide the policy (CI warns on a smoke run, the ``--compare``
+    CLI exits non-zero).
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ValueError(f"threshold must be in (0, 1), got {threshold}")
+    base_benches = baseline.get("benchmarks", {})
+    fresh_benches = fresh.get("benchmarks", {})
+    names = list(base_benches)
+    names.extend(n for n in fresh_benches if n not in base_benches)
+    comparisons: List[BenchmarkComparison] = []
+    for name in names:
+        base_entry = base_benches.get(name)
+        fresh_entry = fresh_benches.get(name)
+        base_value = base_entry["value"] if base_entry else None
+        fresh_value = fresh_entry["value"] if fresh_entry else None
+        unit = (fresh_entry or base_entry or {}).get("unit", "")
+        if base_value is None or fresh_value is None or base_value <= 0:
+            change = None
+            regressed = False
+        else:
+            change = fresh_value / base_value - 1.0
+            regressed = fresh_value < base_value * (1.0 - threshold)
+        comparisons.append(
+            BenchmarkComparison(
+                name=name,
+                unit=unit,
+                baseline=base_value,
+                fresh=fresh_value,
+                change=change,
+                regressed=regressed,
+            )
+        )
+    return comparisons

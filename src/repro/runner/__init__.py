@@ -30,8 +30,14 @@ from repro.runner.cells import (
     harm_grid,
     overhead_grid,
     run_cell,
+    sharded_grid,
 )
-from repro.runner.sweep import SweepOutcome, SweepRunner, results_equal
+from repro.runner.sweep import (
+    SweepOutcome,
+    SweepRunner,
+    pool_start_method,
+    results_equal,
+)
 
 __all__ = [
     "Cell",
@@ -47,6 +53,8 @@ __all__ = [
     "full_grid",
     "harm_grid",
     "overhead_grid",
+    "pool_start_method",
     "results_equal",
     "run_cell",
+    "sharded_grid",
 ]

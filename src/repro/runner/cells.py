@@ -15,7 +15,10 @@ paper's artefact grids cell-by-cell:
 * ``harm_grid`` -- the protected and unprotected MDS-overload runs;
 * ``overhead_grid`` -- the simulated interception-overhead check;
 * ``dependability_grid`` -- control-plane fault sweeps (RPC loss,
-  latency, partitions), flat vs hierarchical.
+  latency, partitions), flat vs hierarchical vs split-job hierarchical;
+* ``sharded_grid`` -- fig4-style runs on the sharded fluid engine at
+  several shard counts (digest-equal by construction; the sweep cache
+  sees one result per configuration regardless of shards).
 
 Determinism: every cell carries its own seed and the experiments seed
 their generators from it explicitly; nothing reads global RNG state, so
@@ -40,6 +43,7 @@ __all__ = [
     "harm_grid",
     "overhead_grid",
     "dependability_grid",
+    "sharded_grid",
     "full_grid",
 ]
 
@@ -72,6 +76,8 @@ class Cell:
             detail = self.params["axis"]
             if "mode" in self.params:
                 detail = f"{detail}-{self.params['mode']}"
+        if detail is None and "n_shards" in self.params:
+            detail = f"{self.params['n_shards']}shard"
         base = self.experiment if detail is None else f"{self.experiment}:{detail}"
         return f"{base}@seed{self.seed}"
 
@@ -139,6 +145,12 @@ def _run_dependability(seed: int, **params: Any):
     return run_dependability(seed=seed, **params)
 
 
+def _run_fig4_sharded(seed: int, **params: Any):
+    from repro.experiments.fig4_sharded import run_fig4_sharded
+
+    return run_fig4_sharded(seed=seed, **params)
+
+
 EXPERIMENTS: Dict[str, Callable[..., Any]] = {
     "fig4-metadata": _run_fig4_metadata,
     "fig4-traced": _run_fig4_traced,
@@ -149,6 +161,7 @@ EXPERIMENTS: Dict[str, Callable[..., Any]] = {
     "harm": _run_harm,
     "overhead-sim": _run_overhead_sim,
     "dependability": _run_dependability,
+    "fig4-sharded": _run_fig4_sharded,
 }
 
 
@@ -230,6 +243,41 @@ def dependability_grid(seed: int = 0, duration: float = 240.0) -> List[Cell]:
         )
         for axis in FAULT_AXES
         for mode in MODES
+    ]
+
+
+def sharded_grid(
+    seed: int = 0,
+    n_jobs: int = 16,
+    stages_per_job: int = 8,
+    n_racks: int = 8,
+    shard_counts: Tuple[int, ...] = (1, 2),
+    clients_per_stage: int = 20,
+    duration: float = 120.0,
+    step_period: float = 30.0,
+) -> List[Cell]:
+    """fig4-sharded cells at several shard counts (results digest-equal).
+
+    Note shard-count cells differ only in ``n_shards``, which never
+    affects the computed floats -- running more than one is an
+    invariance check, not extra coverage.  Kept out of ``full_grid``;
+    the ``sharded`` sweep and CI's ``sharded-smoke`` job use it.
+    """
+    return [
+        Cell(
+            "fig4-sharded",
+            {
+                "n_jobs": n_jobs,
+                "stages_per_job": stages_per_job,
+                "n_racks": n_racks,
+                "n_shards": n_shards,
+                "clients_per_stage": clients_per_stage,
+                "duration": duration,
+                "step_period": step_period,
+            },
+            seed=seed,
+        )
+        for n_shards in shard_counts
     ]
 
 

@@ -27,10 +27,27 @@ from repro.errors import ConfigError
 from repro.runner.cache import ResultCache
 from repro.runner.cells import Cell, run_cell
 
-__all__ = ["DEFAULT_CACHE_DIR", "SweepOutcome", "SweepRunner", "results_equal"]
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "SweepOutcome",
+    "SweepRunner",
+    "pool_start_method",
+    "results_equal",
+]
 
 #: Default on-disk cache location (override with $PADLL_SWEEP_CACHE).
 DEFAULT_CACHE_DIR = ".padll-sweep-cache"
+
+
+def pool_start_method() -> str:
+    """Multiprocessing start method for worker pools.
+
+    fork (where available) shares the already-imported package with
+    workers; spawn re-imports it.  Either way results are bit-identical
+    -- work units carry their seeds.  Shared by :class:`SweepRunner` and
+    the sharded-simulation :class:`~repro.simulation.sharded.ShardPool`.
+    """
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
 
 
 @dataclass(frozen=True)
@@ -117,15 +134,7 @@ class SweepRunner:
                 done = self._collect(completions, cells, outcomes, done, total)
             else:
                 workers = min(self.jobs, len(pending))
-                # fork (where available) shares the already-imported
-                # package with workers; spawn re-imports it.  Either way
-                # results are bit-identical -- cells carry their seeds.
-                method = (
-                    "fork"
-                    if "fork" in multiprocessing.get_all_start_methods()
-                    else "spawn"
-                )
-                context = multiprocessing.get_context(method)
+                context = multiprocessing.get_context(pool_start_method())
                 with context.Pool(processes=workers) as pool:
                     completions = pool.imap_unordered(_pool_entry, pending)
                     done = self._collect(completions, cells, outcomes, done, total)

@@ -25,6 +25,15 @@ instant they sort by ``(priority, sequence)`` exactly like events do, so
 the execution order is identical to the event-based implementation they
 replaced -- which keeps fixed-seed experiments bit-reproducible across
 the optimisation.
+
+Scaling out
+-----------
+This engine is single-core by design.  For cluster-scale runs (10^4
+stages / 10^6 simulated clients) use :mod:`repro.simulation.sharded`,
+which sidesteps the event heap entirely: closed-form fluid racks advance
+in parallel worker processes and synchronise with the control plane at
+epoch boundaries, with fixed-seed outputs bit-identical at any shard
+count.
 """
 
 from __future__ import annotations

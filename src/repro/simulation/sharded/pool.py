@@ -1,0 +1,227 @@
+"""Persistent shard workers with a deterministic epoch barrier.
+
+One resident worker process per shard (the ``SweepRunner`` pool idiom:
+same :func:`~repro.runner.sweep.pool_start_method` fork/spawn
+selection), each owning a block of :class:`~repro.simulation.sharded.fluid.FluidRack`
+sub-worlds.  The coordinator drives them in lock-step epochs:
+
+1. *scatter* -- send every shard its epoch command (new enforcement
+   rates + tick count) before reading any reply, so shards advance in
+   parallel;
+2. *barrier/gather* -- receive replies **in shard order**, so the merged
+   demand-partial list is a pure function of the global rack order, not
+   of worker scheduling.
+
+Because racks are sealed sub-worlds that only exchange state at epoch
+boundaries, how they are blocked into shards (1 process or N) cannot
+change any computed float -- shard-count invariance is structural, and
+``ShardPool(n_shards=1)`` simply runs in-process with no worker at all
+(that is the "single-engine" configuration the tests compare against).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.runner.sweep import pool_start_method
+from repro.simulation.sharded.fluid import FluidConfig, FluidRack, RackSpec
+
+__all__ = ["RackFinal", "ShardPool"]
+
+RateUpdate = Tuple[str, float, Optional[float]]
+Partials = Tuple[Tuple[str, float, int], ...]
+
+
+class RackFinal:
+    """End-of-run snapshot of one rack, shipped back over the pipe."""
+
+    def __init__(
+        self,
+        rack_id: str,
+        served: np.ndarray,
+        job_ids: Tuple[str, ...],
+        job_granted: np.ndarray,
+        delivered_ops: float,
+        backlog: float,
+    ) -> None:
+        self.rack_id = rack_id
+        self.served = served
+        self.job_ids = job_ids
+        self.job_granted = job_granted
+        self.delivered_ops = delivered_ops
+        self.backlog = backlog
+
+
+def _rack_final(rack: FluidRack) -> RackFinal:
+    return RackFinal(
+        rack_id=rack.rack_id,
+        served=rack.served_series(),
+        job_ids=tuple(rack.job_ids),
+        job_granted=rack.job_granted.copy(),
+        delivered_ops=rack.delivered_ops,
+        backlog=rack.total_backlog(),
+    )
+
+
+def _run_shard_epoch(
+    racks: Sequence[FluidRack],
+    t0: float,
+    n_ticks: int,
+    loop_interval: float,
+    rates: Dict[str, List[RateUpdate]],
+) -> List[Tuple[str, Partials]]:
+    """Advance one shard's racks through an epoch; used by both modes."""
+    out: List[Tuple[str, Partials]] = []
+    for rack in racks:
+        updates = rates.get(rack.rack_id)
+        if updates:
+            rack.apply_rates(updates)
+        rack.run_epoch(t0, n_ticks)
+        out.append((rack.rack_id, rack.demand_partials(loop_interval)))
+    return out
+
+
+def _shard_worker(conn, specs, config, vectorized) -> None:
+    """Worker loop: build this shard's racks, then serve epoch commands."""
+    racks = [FluidRack(spec, config, vectorized=vectorized) for spec in specs]
+    try:
+        while True:
+            msg = conn.recv()
+            op = msg[0]
+            if op == "epoch":
+                _op, t0, n_ticks, loop_interval, rates = msg
+                conn.send(_run_shard_epoch(racks, t0, n_ticks, loop_interval, rates))
+            elif op == "finish":
+                conn.send([_rack_final(rack) for rack in racks])
+            elif op == "stop":
+                break
+            else:  # pragma: no cover - protocol misuse
+                raise RuntimeError(f"unknown shard command {op!r}")
+    except EOFError:  # pragma: no cover - coordinator died
+        pass
+    finally:
+        conn.close()
+
+
+class ShardPool:
+    """Farms rack blocks over resident worker processes.
+
+    ``shards`` is a list of rack-spec blocks, one per shard, in global
+    rack order.  A single shard runs in-process -- no worker, no pipe --
+    which doubles as the reference single-engine execution.
+
+    When the constructing process is itself a daemonic pool worker (the
+    ``SweepRunner`` case), spawning shard processes is forbidden by the
+    multiprocessing module, so every shard runs in-process instead.  Only
+    parallelism is lost: the epoch barrier makes results bit-identical
+    across shard counts, so a sweep cell computes the same digest either
+    way while the sweep pool supplies the cross-cell parallelism.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[Sequence[RackSpec]],
+        config: FluidConfig,
+        vectorized: bool = True,
+    ) -> None:
+        if not shards:
+            raise ConfigError("need at least one shard")
+        self._n_shards = len(shards)
+        self._closed = False
+        self._local_racks: Optional[List[FluidRack]] = None
+        self._procs: List[multiprocessing.process.BaseProcess] = []
+        self._conns: List = []
+        in_daemon = multiprocessing.current_process().daemon
+        if self._n_shards == 1 or in_daemon:
+            self._local_racks = [
+                FluidRack(spec, config, vectorized=vectorized)
+                for block in shards
+                for spec in block
+            ]
+            return
+        ctx = multiprocessing.get_context(pool_start_method())
+        for block in shards:
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_shard_worker,
+                args=(child, tuple(block), config, vectorized),
+                daemon=True,
+            )
+            proc.start()
+            child.close()
+            self._procs.append(proc)
+            self._conns.append(parent)
+
+    @property
+    def n_shards(self) -> int:
+        return self._n_shards
+
+    def run_epoch(
+        self,
+        t0: float,
+        n_ticks: int,
+        loop_interval: float,
+        rates: Dict[str, List[RateUpdate]],
+    ) -> List[Tuple[str, Partials]]:
+        """Advance every shard one epoch; partials merge in rack order."""
+        if self._closed:
+            raise ConfigError("pool is closed")
+        if self._local_racks is not None:
+            return _run_shard_epoch(
+                self._local_racks, t0, n_ticks, loop_interval, rates
+            )
+        # Scatter to all shards before gathering any reply (parallelism),
+        # then gather in shard order (deterministic merge).
+        for conn in self._conns:
+            conn.send(("epoch", t0, n_ticks, loop_interval, rates))
+        merged: List[Tuple[str, Partials]] = []
+        for conn in self._conns:
+            merged.extend(conn.recv())
+        return merged
+
+    def finish(self) -> List[RackFinal]:
+        """Collect per-rack finals (in rack order) and stop the workers."""
+        if self._closed:
+            raise ConfigError("pool is closed")
+        if self._local_racks is not None:
+            finals = [_rack_final(rack) for rack in self._local_racks]
+            self.close()
+            return finals
+        for conn in self._conns:
+            conn.send(("finish",))
+        finals = []
+        for conn in self._conns:
+            finals.extend(conn.recv())
+        self.close()
+        return finals
+
+    def close(self) -> None:
+        """Stop workers; safe to call more than once."""
+        if self._closed:
+            return
+        self._closed = True
+        self._local_racks = None
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for conn in self._conns:
+            conn.close()
+        self._procs = []
+        self._conns = []
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,394 @@
+"""Split-job placement: demand merge, staleness, eviction, RackEndpoint.
+
+Jobs whose stages span racks exercise the global tier's demand-merge
+protocol (``repro.core.hierarchy`` module docstring): per-local partial
+demands summed globally, per-local staleness discounting, the per-stage
+rate split computed once from the job's *total* stage count, and one
+enforcement push per hosting local.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError, RPCError, StageNotRegistered
+from repro.core.algorithms import ProportionalSharing
+from repro.core.controller import ControlPlane, ControlPlaneConfig
+from repro.core.fabric import FaultyFabric, LinkProfile
+from repro.core.hierarchy import (
+    AggregateStats,
+    CollectAggregate,
+    EnforceJobRate,
+    EnforceJobRateBatch,
+    HierarchicalControlPlane,
+    JobAggregate,
+    LocalController,
+    RackEndpoint,
+)
+from repro.core.requests import OperationType, Request
+from repro.core.rpc import Ping
+from repro.core.stage import StageIdentity
+
+from tests.core.test_controller import make_stage
+from tests.core.test_hierarchy import build_flat, metadata_load
+
+
+def build_split(n_jobs=3, stages_per_job=2, n_racks=2, capacity=120.0, config=None):
+    """Split placement: stage s of job j lives on rack (j + s) % n_racks."""
+    cp = HierarchicalControlPlane(
+        config=config, algorithm=ProportionalSharing(capacity=capacity)
+    )
+    racks = [LocalController(f"rack{r}") for r in range(n_racks)]
+    for rack in racks:
+        cp.attach_local(rack)
+    stages = []
+    for j in range(n_jobs):
+        for s in range(stages_per_job):
+            stage = make_stage(f"j{j}s{s}", f"job{j}")
+            cp.register_stage(stage, f"rack{(j + s) % n_racks}")
+            stages.append(stage)
+    return cp, stages, racks
+
+
+class TestSingleRackReduction:
+    """Satellite acceptance: a job whose stages share one rack behaves
+    exactly like today's whole-job placement -- and the flat plane."""
+
+    def test_single_rack_split_matches_flat_bit_for_bit(self):
+        flat, flat_stages = build_flat(n_jobs=4, stages_per_job=3)
+        split, split_stages, _ = build_split(
+            n_jobs=4, stages_per_job=3, n_racks=1
+        )
+        for t in range(15):
+            now = float(t)
+            metadata_load(flat_stages, now)
+            metadata_load(split_stages, now)
+            flat.tick(now)
+            split.tick(now)
+            assert list(split.enforcement_log) == list(flat.enforcement_log)
+        assert len(flat.enforcement_log) > 0
+        for fs, ss in zip(flat_stages, split_stages):
+            assert ss.channel_rate("metadata") == fs.channel_rate("metadata")
+
+
+class TestDemandMerge:
+    def test_each_rack_reports_a_genuine_partial(self):
+        _, stages, racks = build_split(n_jobs=2, stages_per_job=2, n_racks=2)
+        metadata_load(stages, 0.0)
+        # Split placement puts one stage of each job on each rack, so
+        # every rack's aggregate is a partial: n_stages == 1 per job.
+        for rack in racks:
+            agg = rack.handle(
+                CollectAggregate(now=1.0, channel="metadata", loop_interval=1.0)
+            )
+            assert {ja.job_id for ja in agg.jobs} == {"job0", "job1"}
+            assert all(ja.n_stages == 1 for ja in agg.jobs)
+            assert all(ja.demand > 0.0 for ja in agg.jobs)
+
+    def test_partials_merge_to_flat_plane_demand(self):
+        cp, stages, _ = build_split(n_jobs=2, stages_per_job=2, n_racks=2)
+        metadata_load(stages, 0.0)
+        cp.tick(1.0)
+        # Merging partials adds each rack's fold in stage-registration
+        # order from 0.0 -- the flat plane's exact accumulation -- so the
+        # enforcement decisions match bit for bit.
+        flat, flat_stages = build_flat(n_jobs=2, stages_per_job=2)
+        metadata_load(flat_stages, 0.0)
+        flat.tick(1.0)
+        assert list(cp.enforcement_log) == list(flat.enforcement_log)
+        assert len(cp.enforcement_log) > 0
+
+    def test_rate_split_uses_total_stage_count_once(self):
+        cp, stages, _ = build_split(n_jobs=2, stages_per_job=2, n_racks=2)
+        metadata_load(stages, 0.0)
+        cp.tick(1.0)
+        by_job = {job: rate for _, job, rate in cp.enforcement_log}
+        for j, job_id in enumerate(("job0", "job1")):
+            per_stage = max(cp.config.min_rate, by_job[job_id] / 2)
+            for s in range(2):
+                assert stages[j * 2 + s].channel_rate("metadata") == per_stage
+
+    def test_each_hosting_local_pushed_exactly_once(self):
+        pushes = []
+
+        def enforce(local_id, message):
+            pushes.append((local_id, message.job_id))
+            return True
+
+        def collect(local_id, message):
+            return AggregateStats(
+                local_id=local_id,
+                timestamp=message.now,
+                jobs=(JobAggregate(job_id="job0", demand=50.0, n_stages=2),),
+            )
+
+        cp = HierarchicalControlPlane(
+            algorithm=ProportionalSharing(capacity=10.0)
+        )
+        for r in range(2):
+            cp.attach_local(RackEndpoint(f"rack{r}", collect=collect, enforce=enforce))
+        # 4 stages of one job spread over 2 racks: 2 stages per rack.
+        for s in range(4):
+            cp.register_remote(
+                StageIdentity(f"s{s}", "job0"), f"rack{s % 2}"
+            )
+        cp.tick(1.0)
+        assert sorted(pushes) == [("rack0", "job0"), ("rack1", "job0")]
+
+    def test_staleness_discount_is_per_local(self):
+        halflife = 2.0
+        cp = HierarchicalControlPlane(
+            config=ControlPlaneConfig(stale_halflife=halflife),
+            algorithm=ProportionalSharing(capacity=100.0),
+        )
+        for r in range(2):
+            cp.attach_local(LocalController(f"rack{r}"))
+        for s in range(2):
+            cp.register_stage(make_stage(f"s{s}", "job0"), f"rack{s}")
+        stats = {
+            f"rack{r}": AggregateStats(
+                local_id=f"rack{r}",
+                timestamp=0.0,
+                jobs=(JobAggregate(job_id="job0", demand=40.0, n_stages=1),),
+            )
+            for r in range(2)
+        }
+        # rack0's aggregate is one halflife old; rack1's is fresh.  Only
+        # rack0's partial dims -- its rack-mate contributes at full weight.
+        cp._stats_age = {"rack0": halflife}
+        demands = {d.job_id: d.demand for d in cp._job_demands(stats)}
+        assert demands["job0"] == 40.0 * 0.5 + 40.0
+
+
+class TestSpanningJobEviction:
+    """Satellite acceptance: a job whose hosting racks all evict
+    mid-cycle disappears cleanly; co-hosted jobs on surviving racks keep
+    their other stages."""
+
+    def test_job_vanishes_when_every_hosting_rack_evicts(self, env):
+        fabric = FaultyFabric(env=env, link=LinkProfile(latency=0.1))
+        cp = HierarchicalControlPlane(
+            fabric=fabric,
+            config=ControlPlaneConfig(async_collect=True, max_missed_collects=2),
+            algorithm=ProportionalSharing(capacity=100.0),
+        )
+        for r in range(3):
+            cp.attach_local(LocalController(f"rack{r}"))
+        # jobA spans rack0+rack1 (both doomed); jobB spans rack1+rack2,
+        # so it loses one stage but survives on rack2.
+        cp.register_stage(make_stage("a0", "jobA"), "rack0")
+        cp.register_stage(make_stage("a1", "jobA"), "rack1")
+        cp.register_stage(make_stage("b0", "jobB"), "rack1")
+        cp.register_stage(make_stage("b1", "jobB"), "rack2")
+        fabric.set_link("rack0", LinkProfile(loss=1.0))
+        fabric.set_link("rack1", LinkProfile(loss=1.0))
+        for t in range(12):
+            env.run(until=float(t))
+            cp.tick(float(t))
+        assert set(cp.locals) == {"rack2"}
+        assert set(cp.jobs) == {"jobB"}
+        assert cp.jobs["jobB"].n_stages == 1
+        assert set(cp.stages) == {"b1"}
+        evicted = {endpoint for _, endpoint in cp.evictions}
+        assert evicted == {"rack0", "rack1"}
+        # The survivor still gets demand-driven enforcement afterwards.
+        cp.tick(12.0)
+        assert all(job == "jobB" for _, job, _ in list(cp.enforcement_log)[-1:])
+
+
+class TestBatchedEnforcement:
+    """The algorithm's cycle pushes travel as one batch per local."""
+
+    def test_local_controller_batch_matches_sequential_pushes(self):
+        def record_into(log):
+            def register(local):
+                for j in range(2):
+                    local.register_endpoint(
+                        StageIdentity(f"s{j}", f"job{j}"),
+                        lambda m, j=j: log.append((j, m.rate, m.burst)),
+                    )
+            return register
+
+        batched_log, sequential_log = [], []
+        batched = LocalController("rack0")
+        record_into(batched_log)(batched)
+        batched.handle(
+            EnforceJobRateBatch(
+                channel_id="metadata",
+                now=1.0,
+                entries=(("job0", 5.0, None), ("job1", 7.0, 14.0)),
+            )
+        )
+        sequential = LocalController("rack0")
+        record_into(sequential_log)(sequential)
+        for job_id, rate, burst in (("job0", 5.0, None), ("job1", 7.0, 14.0)):
+            sequential.handle(
+                EnforceJobRate(
+                    job_id=job_id,
+                    channel_id="metadata",
+                    rate=rate,
+                    now=1.0,
+                    burst=burst,
+                )
+            )
+        assert batched_log == sequential_log == [(0, 5.0, None), (1, 7.0, 14.0)]
+
+    def test_rack_endpoint_unpacks_batch_without_batch_verb(self):
+        pushes = []
+        rack = RackEndpoint(
+            "rack0",
+            collect=lambda *a: None,
+            enforce=lambda lid, m: pushes.append(
+                (lid, m.job_id, m.rate, m.burst)
+            ),
+        )
+        rack.handle(
+            EnforceJobRateBatch(
+                channel_id="metadata",
+                now=3.0,
+                entries=(("job0", 2.0, None), ("job1", 4.0, 8.0)),
+            )
+        )
+        assert pushes == [
+            ("rack0", "job0", 2.0, None),
+            ("rack0", "job1", 4.0, 8.0),
+        ]
+
+    def test_rack_endpoint_prefers_batch_verb(self):
+        batches = []
+        rack = RackEndpoint(
+            "rack0",
+            collect=lambda *a: None,
+            enforce=lambda *a: pytest.fail("unpacked despite batch verb"),
+            enforce_batch=lambda lid, m: batches.append((lid, m.entries)),
+        )
+        message = EnforceJobRateBatch(
+            channel_id="metadata", now=3.0, entries=(("job0", 2.0, None),)
+        )
+        rack.handle(message)
+        assert batches == [("rack0", (("job0", 2.0, None),))]
+
+    def test_cycle_sends_one_batch_per_hosting_local(self):
+        # Two spanning jobs on two racks: each rack must receive exactly
+        # one batch per cycle carrying both jobs' split rates in
+        # allocation order.  The collect replies use raw partial triples,
+        # which the plane must accept interchangeably with JobAggregate.
+        batches: dict = {}
+
+        def make(rack_id):
+            return RackEndpoint(
+                rack_id,
+                collect=lambda lid, m: AggregateStats(
+                    local_id=lid,
+                    timestamp=m.now,
+                    jobs=(("job0", 40.0, 1), ("job1", 20.0, 1)),
+                ),
+                enforce=lambda *a: pytest.fail("per-job push on batched path"),
+                enforce_batch=lambda lid, m: batches.setdefault(lid, []).append(m),
+            )
+
+        cp = HierarchicalControlPlane(
+            algorithm=ProportionalSharing(capacity=100.0)
+        )
+        for r in range(2):
+            cp.attach_local(make(f"rack{r}"))
+        for j in range(2):
+            for r in range(2):
+                cp.register_remote(StageIdentity(f"j{j}r{r}", f"job{j}"), f"rack{r}")
+        cp.tick(1.0)
+        logged = {job: rate for _, job, rate in cp.enforcement_log}
+        assert set(logged) == {"job0", "job1"}
+        assert set(batches) == {"rack0", "rack1"}
+        for msgs in batches.values():
+            (message,) = msgs  # exactly one batch per local per cycle
+            assert message.entries == (
+                ("job0", logged["job0"] / 2, None),
+                ("job1", logged["job1"] / 2, None),
+            )
+
+
+class TestRackEndpoint:
+    def test_dispatches_verbs_to_callables(self):
+        seen = {}
+
+        def collect(local_id, message):
+            seen["collect"] = (local_id, message.now)
+            return AggregateStats(local_id=local_id, timestamp=message.now, jobs=())
+
+        def enforce(local_id, message):
+            seen["enforce"] = (local_id, message.job_id, message.rate)
+            return True
+
+        rack = RackEndpoint("rack0", collect=collect, enforce=enforce)
+        rack.handle(CollectAggregate(now=2.0, channel="metadata", loop_interval=1.0))
+        rack.handle(EnforceJobRate(job_id="j", channel_id="metadata", rate=5.0, now=2.0))
+        assert seen == {
+            "collect": ("rack0", 2.0),
+            "enforce": ("rack0", "j", 5.0),
+        }
+        assert rack.handle(Ping(payload="hi")) == "hi"
+        with pytest.raises(RPCError):
+            rack.handle(object())
+
+    def test_adoption_registry(self):
+        rack = RackEndpoint(
+            "rack0", collect=lambda *a: None, enforce=lambda *a: None
+        )
+        identity = StageIdentity("s0", "job0")
+        rack.adopt(identity)
+        assert rack.stage_ids == ["s0"]
+        assert rack.identities == {"s0": identity}
+        with pytest.raises(ConfigError):
+            rack.adopt(identity)
+        rack.deregister("s0")
+        with pytest.raises(StageNotRegistered):
+            rack.deregister("s0")
+        with pytest.raises(ConfigError):
+            RackEndpoint("", collect=lambda *a: None, enforce=lambda *a: None)
+
+    def test_register_remote_bookkeeping_and_errors(self):
+        cp = HierarchicalControlPlane()
+        rack = RackEndpoint(
+            "rack0", collect=lambda *a: None, enforce=lambda *a: None
+        )
+        cp.attach_local(rack)
+        cp.register_remote(StageIdentity("s0", "job0"), "rack0")
+        assert set(cp.stages) == {"s0"}
+        assert cp.jobs["job0"].n_stages == 1
+        with pytest.raises(ConfigError):
+            cp.register_remote(StageIdentity("s0", "job0"), "rack0")
+        with pytest.raises(ConfigError):
+            cp.register_remote(StageIdentity("s1", "job0"), "ghost-rack")
+        # A plain LocalController cannot adopt out-of-process stages.
+        cp.attach_local(LocalController("rack1"))
+        with pytest.raises(ConfigError, match="adopt"):
+            cp.register_remote(StageIdentity("s1", "job0"), "rack1")
+        # Deregistration flows back through the endpoint.
+        cp.deregister("s0")
+        assert cp.jobs == {}
+        assert rack.stage_ids == []
+
+    def test_evicting_endpoint_removes_adopted_stages(self, env):
+        fabric = FaultyFabric(env=env, link=LinkProfile(latency=0.1))
+        cp = HierarchicalControlPlane(
+            fabric=fabric,
+            config=ControlPlaneConfig(async_collect=True, max_missed_collects=2),
+            algorithm=ProportionalSharing(capacity=100.0),
+        )
+        cp.attach_local(
+            RackEndpoint(
+                "rack0",
+                collect=lambda lid, m: AggregateStats(
+                    local_id=lid, timestamp=m.now, jobs=()
+                ),
+                enforce=lambda lid, m: True,
+            )
+        )
+        cp.register_remote(StageIdentity("s0", "job0"), "rack0")
+        fabric.set_link("rack0", LinkProfile(loss=1.0))
+        for t in range(12):
+            env.run(until=float(t))
+            cp.tick(float(t))
+        assert cp.locals == {}
+        assert cp.jobs == {}
+        assert cp.stages == {}

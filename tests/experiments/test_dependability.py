@@ -50,6 +50,16 @@ class TestFaultAxes:
         assert points[0].mean_abs_error == 0.0
         assert points[0].collect_timeouts == 0
 
+    def test_split_job_mode_runs_and_degrades_under_loss(self):
+        # hier-split spreads each job's stages across both racks, so the
+        # plane is always merging partial demands; it must still track at
+        # zero fault and degrade (not crash) when links drop collects.
+        points = run_dependability(
+            axis="loss", mode="hier-split", levels=(0.0, 0.6), duration=60.0
+        )
+        assert points[0].mean_abs_error == 0.0
+        assert points[1].mean_abs_error > 0.0
+
     def test_unknown_axis_and_mode(self):
         with pytest.raises(ConfigError):
             run_dependability(axis="gremlins")
@@ -62,7 +72,8 @@ class TestGrid:
         from repro.runner import dependability_grid
 
         cells = dependability_grid(seed=3, duration=90.0)
-        assert len(cells) == 6
+        assert len(cells) == 9
         names = {cell.name for cell in cells}
         assert "dependability:loss-hier@seed3" in names
         assert "dependability:partition-flat@seed3" in names
+        assert "dependability:latency-hier-split@seed3" in names

@@ -38,6 +38,19 @@ class TestModuleMapping:
         assert not config.in_layer("repro.corex", config.deterministic_layers)
         assert not config.in_layer("repro.analysis.plots", config.deterministic_layers)
 
+    def test_sharded_engine_is_an_explicit_deterministic_layer(self):
+        # The sharded engine must stay deterministic even if the parent
+        # 'repro.simulation' prefix is ever narrowed: require the explicit
+        # entry, not just prefix inheritance.
+        config = LintConfig()
+        assert "repro.simulation.sharded" in config.deterministic_layers
+        assert config.in_layer(
+            "repro.simulation.sharded.fluid", config.deterministic_layers
+        )
+        assert config.in_layer(
+            "repro.simulation.sharded.coordinator", config.deterministic_layers
+        )
+
 
 class TestLoadConfig:
     def test_repo_table_matches_builtin_defaults(self):

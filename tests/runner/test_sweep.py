@@ -19,6 +19,7 @@ from repro.runner import (
     overhead_grid,
     results_equal,
     run_cell,
+    sharded_grid,
 )
 
 
@@ -54,7 +55,17 @@ class TestCell:
         assert len(ablation_grid()) == 3
         assert len(harm_grid()) == 2
         assert len(overhead_grid()) == 1
-        assert len(full_grid()) == 21
+        # dependability: 3 fault axes x (flat, hier, hier-split).
+        assert len(full_grid()) == 24
+        # One cell per shard count; digest-equal by design, so the grid
+        # is an invariance check and stays out of full_grid.
+        cells = sharded_grid(seed=1, shard_counts=(1, 2, 4))
+        assert [c.name for c in cells] == [
+            "fig4-sharded:1shard@seed1",
+            "fig4-sharded:2shard@seed1",
+            "fig4-sharded:4shard@seed1",
+        ]
+        assert all(c.name not in {x.name for x in full_grid()} for c in cells)
 
 
 class TestCacheKeys:

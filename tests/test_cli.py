@@ -249,3 +249,91 @@ class TestTraceRunCommand:
         rc = main(["trace", "run", *self._FAST, "--out", str(target)])
         assert rc == 2
         assert "not a directory" in capsys.readouterr().err
+
+
+class TestShardedCommand:
+    _FAST = [
+        "sharded", "--jobs", "4", "--stages-per-job", "2", "--racks", "2",
+        "--clients-per-stage", "5", "--duration", "20", "--step-period", "5",
+    ]
+
+    def test_digest_only_is_shard_invariant(self, capsys):
+        rc = main([*self._FAST, "--shards", "1", "--digest-only"])
+        assert rc == 0
+        one = capsys.readouterr().out.strip()
+        rc = main([*self._FAST, "--shards", "2", "--digest-only"])
+        assert rc == 0
+        two = capsys.readouterr().out.strip()
+        assert one == two
+        assert len(one) == 64  # bare sha256 hex, cmp-able by CI
+
+    def test_summary_output(self, capsys):
+        rc = main([*self._FAST, "--scalar"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "8 stages" in out
+        assert "baseline" in out and "padll" in out
+        assert "digest " in out
+
+    def test_invalid_topology_is_config_error(self, capsys):
+        rc = main([*self._FAST, "--shards", "9"])
+        assert rc == 2
+        assert "n_shards" in capsys.readouterr().err
+
+    def test_dt_must_divide_the_control_epoch(self, capsys):
+        rc = main([*self._FAST, "--dt", "0.5", "--digest-only"])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main([*self._FAST, "--dt", "0.3", "--digest-only"])
+        assert rc == 2
+        assert "loop_interval" in capsys.readouterr().err
+
+
+class TestPerfbenchCompare:
+    _FAST = ["perfbench", "--smoke", "--only", "control_cycles_per_sec"]
+
+    def _baseline(self, tmp_path, value):
+        import json
+
+        path = tmp_path / "BENCH_20260101T000000Z.json"
+        path.write_text(json.dumps({
+            "benchmarks": {
+                "control_cycles_per_sec": {"value": value, "unit": "cycles/s"}
+            }
+        }))
+        return path
+
+    def test_regression_exits_three(self, tmp_path, capsys):
+        baseline = self._baseline(tmp_path, 1e12)
+        rc = main([*self._FAST, "--out", str(tmp_path / "out"),
+                   "--compare", str(baseline)])
+        assert rc == 3
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_comparable_run_exits_zero(self, tmp_path, capsys):
+        baseline = self._baseline(tmp_path, 1e-6)
+        rc = main([*self._FAST, "--out", str(tmp_path / "out"),
+                   "--compare", str(baseline)])
+        assert rc == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_unreadable_baseline_is_usage_error(self, tmp_path, capsys):
+        rc = main([*self._FAST, "--out", str(tmp_path / "out"),
+                   "--compare", str(tmp_path / "nope.json")])
+        assert rc == 2
+        assert "cannot read baseline" in capsys.readouterr().err
+
+    def test_bare_compare_uses_committed_trajectory(self, tmp_path, capsys):
+        # --compare with no path diffs against the newest committed
+        # benchmarks/BENCH_*.json; on a dev machine that never regresses
+        # the harness, only possibly the numbers, so accept 0 or 3.
+        rc = main([*self._FAST, "--out", str(tmp_path / "out"), "--compare"])
+        assert rc in (0, 3)
+        assert "compare vs" in capsys.readouterr().out
+
+    def test_threshold_validation(self, tmp_path, capsys):
+        baseline = self._baseline(tmp_path, 1.0)
+        rc = main([*self._FAST, "--out", str(tmp_path / "out"),
+                   "--compare", str(baseline), "--threshold", "1.5"])
+        assert rc == 2
+        assert "threshold" in capsys.readouterr().err

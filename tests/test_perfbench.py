@@ -17,7 +17,10 @@ from repro.perfbench import (
     bench_classifier,
     bench_control,
     bench_engine,
+    bench_sharded_control,
     bench_stage,
+    compare_reports,
+    latest_report,
     run_perfbench,
     save_report,
 )
@@ -45,6 +48,13 @@ class TestMicroBenches:
         assert result["value"] > 0
         assert result["cycles_per_sec_8_stages"] > 0
         assert result["cycles_per_sec_256_stages"] > 0
+
+    def test_sharded_control_bench_reports_cluster_shape(self):
+        result = bench_sharded_control(n_stages=64, n_cycles=3)
+        assert result["value"] > 0
+        assert result["n_stages"] == 64.0
+        assert result["n_jobs"] == 16.0
+        assert result["n_clients"] == 6400.0
 
 
 class TestHarness:
@@ -91,12 +101,85 @@ class TestHarness:
             "telemetry_off_stage_ops_per_sec",
             "fig4_sim_seconds_per_sec",
             "sweep_cells_per_sec",
+            "sharded_control_cycles_per_sec",
+            "fig4_sharded_sim_seconds_per_sec",
         }
         assert data["warmup"] == 1
         for bench in data["benchmarks"].values():
             assert bench["value"] > 0
             assert len(bench["repeats"]) == 1
+        sharded = data["benchmarks"]["fig4_sharded_sim_seconds_per_sec"]
+        assert sharded["detail"]["digest_match"] == 1.0
         assert "perfbench" in report.summary()
+
+    def test_only_filters_benchmarks_and_rejects_unknown(self):
+        config = PerfbenchConfig(repeats=1, scale=0.01, warmup=0)
+        report = run_perfbench(config, only=["control_cycles_per_sec"])
+        assert set(report.benchmarks) == {"control_cycles_per_sec"}
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            run_perfbench(config, only=["no_such_bench"])
+
+
+def report_dict(**benchmarks):
+    return {
+        "benchmarks": {
+            name: {"value": value, "unit": "ops/s"}
+            for name, value in benchmarks.items()
+        }
+    }
+
+
+class TestCompare:
+    def test_regression_flagged_past_threshold(self):
+        comps = compare_reports(
+            report_dict(a=100.0, b=100.0),
+            report_dict(a=49.0, b=51.0),
+            threshold=0.5,
+        )
+        by_name = {c.name: c for c in comps}
+        assert by_name["a"].regressed
+        assert by_name["a"].change == pytest.approx(-0.51)
+        assert not by_name["b"].regressed
+
+    def test_missing_benchmarks_never_regress(self):
+        comps = compare_reports(
+            report_dict(gone=100.0), report_dict(new=1.0), threshold=0.5
+        )
+        assert [(c.name, c.change, c.regressed) for c in comps] == [
+            ("gone", None, False),
+            ("new", None, False),
+        ]
+
+    def test_zero_baseline_is_not_a_regression(self):
+        (comp,) = compare_reports(
+            report_dict(a=0.0), report_dict(a=5.0), threshold=0.5
+        )
+        assert comp.change is None and not comp.regressed
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            compare_reports(report_dict(), report_dict(), threshold=0.0)
+        with pytest.raises(ValueError):
+            compare_reports(report_dict(), report_dict(), threshold=1.0)
+
+    def test_latest_report_picks_newest_stamp(self, tmp_path):
+        assert latest_report(tmp_path / "missing") is None
+        assert latest_report(tmp_path) is None
+        (tmp_path / "BENCH_20260101T000000Z.json").write_text("{}")
+        (tmp_path / "BENCH_20260301T000000Z.json").write_text("{}")
+        (tmp_path / "BENCH_20260201T000000Z.json").write_text("{}")
+        assert latest_report(tmp_path).name == "BENCH_20260301T000000Z.json"
+
+    def test_committed_trajectory_lives_under_benchmarks_dir(self):
+        from pathlib import Path
+
+        from repro.perfbench import DEFAULT_BENCH_DIR
+
+        repo_root = Path(__file__).resolve().parents[1]
+        newest = latest_report(repo_root / DEFAULT_BENCH_DIR)
+        assert newest is not None
+        data = json.loads(newest.read_text())
+        assert data["schema_version"] == 1
 
 
 class TestCli:
