@@ -19,7 +19,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Sequence
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.errors import PolicyError
 
@@ -34,6 +36,17 @@ __all__ = [
 
 #: Rates below this are clamped up so token buckets stay well-defined.
 MIN_RATE = 1e-9
+
+
+def _seq_sum(values: np.ndarray) -> float:
+    """Sum in Python's left-to-right order, not ``np.sum``'s pairwise order.
+
+    The vectorised allocators are bit-identity twins of the scalar ones,
+    and IEEE-754 addition is not associative: every reduction whose result
+    feeds an allocation must replay the scalar path's ``sum(list)``
+    accumulation order exactly.
+    """
+    return sum(values.tolist(), 0.0)
 
 
 @dataclass(frozen=True, slots=True)
@@ -58,7 +71,14 @@ class JobDemand:
 
 
 class AllocationAlgorithm:
-    """Interface: demands in, per-job rates out."""
+    """Interface: demands in, per-job rates out.
+
+    Allocators may additionally implement ``allocate_arrays(job_ids,
+    demand, reservation) -> np.ndarray`` -- the vectorised twin of
+    :meth:`allocate` over parallel per-job arrays, required to return
+    bit-identical rates (the hierarchical plane's vector path probes for
+    it with ``getattr`` and falls back to :meth:`allocate` otherwise).
+    """
 
     def allocate(self, demands: Sequence[JobDemand]) -> Dict[str, float]:
         raise NotImplementedError  # pragma: no cover - interface
@@ -75,6 +95,14 @@ class StaticPartition(AllocationAlgorithm):
     def allocate(self, demands: Sequence[JobDemand]) -> Dict[str, float]:
         return {d.job_id: self.rate_per_job for d in demands}
 
+    def allocate_arrays(
+        self,
+        job_ids: Tuple[str, ...],
+        demand: np.ndarray,
+        reservation: np.ndarray,
+    ) -> np.ndarray:
+        return np.full(len(job_ids), self.rate_per_job)
+
 
 class PriorityPartition(AllocationAlgorithm):
     """Fixed per-job rates keyed by job id; unknown jobs get ``default``."""
@@ -87,6 +115,7 @@ class PriorityPartition(AllocationAlgorithm):
             raise PolicyError(f"default rate must be positive, got {default}")
         self.rates = dict(rates)
         self.default = default
+        self._ids_cache: Optional[Tuple[Tuple[str, ...], np.ndarray]] = None
 
     def allocate(self, demands: Sequence[JobDemand]) -> Dict[str, float]:
         out: Dict[str, float] = {}
@@ -95,6 +124,26 @@ class PriorityPartition(AllocationAlgorithm):
             if rate is None:
                 raise PolicyError(f"no priority rate configured for job {d.job_id!r}")
             out[d.job_id] = rate
+        return out
+
+    def allocate_arrays(
+        self,
+        job_ids: Tuple[str, ...],
+        demand: np.ndarray,
+        reservation: np.ndarray,
+    ) -> np.ndarray:
+        # Rates depend only on the id tuple; the plane passes the same
+        # cached tuple every cycle, so key the lookup table on it.
+        cached = self._ids_cache
+        if cached is not None and cached[0] == job_ids:
+            return cached[1]
+        out = np.empty(len(job_ids))
+        for i, job_id in enumerate(job_ids):
+            rate = self.rates.get(job_id, self.default)
+            if rate is None:
+                raise PolicyError(f"no priority rate configured for job {job_id!r}")
+            out[i] = rate
+        self._ids_cache = (tuple(job_ids), out)
         return out
 
 
@@ -140,6 +189,41 @@ def weighted_max_min(
     return alloc
 
 
+def weighted_max_min_arrays(
+    capacity: float, demands: np.ndarray, weights: np.ndarray
+) -> np.ndarray:
+    """Vectorised twin of :func:`weighted_max_min`, bit-identical.
+
+    Same progressive water-filling over an ascending unmet index array:
+    elementwise multiplies/adds/compares are IEEE-identical to the scalar
+    loop's, ``np.min`` selects (never re-associates), and the one
+    order-sensitive reduction -- the unmet weight total -- goes through
+    :func:`_seq_sum` to replay Python ``sum``'s left-to-right adds.
+    """
+    if capacity < 0:
+        raise PolicyError(f"capacity must be >= 0, got {capacity}")
+    n = demands.shape[0]
+    if n != weights.shape[0]:
+        raise PolicyError("demands and weights length mismatch")
+    alloc = np.zeros(n)
+    remaining_cap = capacity
+    w = np.maximum(weights, 1e-12)
+    unmet = np.flatnonzero(demands > 0)
+    while unmet.size and remaining_cap > 1e-12:
+        w_u = w[unmet]
+        total_w = _seq_sum(w_u)
+        level = float(np.min((demands[unmet] - alloc[unmet]) / w_u))
+        step = remaining_cap / total_w
+        if step <= level:
+            alloc[unmet] += step * w_u
+            remaining_cap = 0.0
+            break
+        alloc[unmet] += level * w_u
+        remaining_cap -= level * total_w
+        unmet = unmet[(demands[unmet] - alloc[unmet]) > 1e-9]
+    return alloc
+
+
 class ProportionalSharing(AllocationAlgorithm):
     """Per-job rate reservations with proportional leftover sharing.
 
@@ -163,6 +247,45 @@ class ProportionalSharing(AllocationAlgorithm):
             raise PolicyError(f"headroom must be >= 1, got {headroom}")
         self.capacity = float(capacity)
         self.headroom = float(headroom)
+        self._checked_ids: Optional[Tuple[str, ...]] = None
+
+    def allocate_arrays(
+        self,
+        job_ids: Tuple[str, ...],
+        demand: np.ndarray,
+        reservation: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorised twin of :meth:`allocate`, bit-identical.
+
+        Every expression mirrors the scalar path one-for-one: elementwise
+        headroom/min/max/add are IEEE-identical, and the two reductions
+        whose results feed allocations (total reservation, phase-1 total)
+        use :func:`_seq_sum` to keep Python ``sum``'s accumulation order.
+        """
+        n = len(job_ids)
+        if n == 0:
+            return np.zeros(0)
+        # Same duplicate guard as allocate(); the plane hands the same
+        # tuple object every cycle, so validate each distinct tuple once.
+        if job_ids != self._checked_ids:
+            if len(set(job_ids)) != n:
+                raise PolicyError(
+                    f"duplicate job ids in demand list: {list(job_ids)}"
+                )
+            self._checked_ids = tuple(job_ids)
+        wants = demand * self.headroom
+        reservations = reservation
+        total_res = _seq_sum(reservations)
+        if total_res > self.capacity and total_res > 0:
+            scale = self.capacity / total_res
+            reservations = reservations * scale
+        # Phase 1: satisfy reservations (up to demand).
+        alloc = np.minimum(wants, reservations)
+        leftover = max(0.0, self.capacity - _seq_sum(alloc))  # clamp float error
+        # Phase 2: water-fill the leftover proportionally to reservations.
+        residual = np.maximum(0.0, wants - alloc)
+        extra = weighted_max_min_arrays(leftover, residual, reservations)
+        return np.maximum(MIN_RATE, alloc + extra)
 
     def allocate(self, demands: Sequence[JobDemand]) -> Dict[str, float]:
         if not demands:

@@ -57,6 +57,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, NamedTuple, Optional, Tuple
 
+import numpy as np
+
 from repro.errors import ConfigError, RPCError, StageNotRegistered
 from repro.core.algorithms import JobDemand
 from repro.core.controller import ControlPlane, JobInfo
@@ -73,6 +75,7 @@ __all__ = [
     "CollectAggregate",
     "JobAggregate",
     "AggregateStats",
+    "ArrayStats",
     "EnforceJobRate",
     "EnforceJobRateBatch",
     "LocalController",
@@ -118,6 +121,45 @@ class AggregateStats:
     local_id: str
     timestamp: float
     jobs: Tuple[JobAggregate, ...]
+
+
+class ArrayStats:
+    """Array-backed :class:`AggregateStats` twin for the shm wire format.
+
+    ``job_ids``/``stage_counts`` are the local's static layout (the
+    :class:`~repro.simulation.sharded.shm.ShardIndexMap` rack slice) and
+    ``demand`` is the per-epoch float64 demand-partial vector aligned to
+    them -- no per-job Python objects on the per-cycle path.  The
+    :attr:`jobs` property materialises the classic ``(job_id, demand,
+    n_stages)`` triples, so every scalar consumer (``_job_demands``,
+    telemetry's ``_emit_cycle``, tests) reads an ``ArrayStats`` exactly
+    like an :class:`AggregateStats`; the plane's vector path reads the
+    arrays directly instead.
+    """
+
+    __slots__ = ("local_id", "timestamp", "job_ids", "demand", "stage_counts")
+
+    def __init__(
+        self,
+        local_id: str,
+        timestamp: float,
+        job_ids: Tuple[str, ...],
+        demand: np.ndarray,
+        stage_counts: Tuple[int, ...],
+    ) -> None:
+        self.local_id = local_id
+        self.timestamp = timestamp
+        self.job_ids = job_ids
+        self.demand = demand
+        self.stage_counts = stage_counts
+
+    @property
+    def jobs(self) -> Tuple[Tuple[str, float, int], ...]:
+        return tuple(zip(self.job_ids, self.demand.tolist(), self.stage_counts))
+
+
+#: What a collect reply must be to count as an aggregate.
+_AGGREGATE_TYPES = (AggregateStats, ArrayStats)
 
 
 @dataclass(frozen=True, slots=True)
@@ -390,9 +432,29 @@ class HierarchicalControlPlane(ControlPlane):
     transport topology differs -- collects poll locals, enforcement fans
     out through locals, and liveness eviction removes a silent local's
     entire stage population.
+
+    Vectorised global tier (``vectorized=True``): when the allocation
+    algorithm implements ``allocate_arrays``, the per-cycle demand merge,
+    staleness discount, clamping, logging, and per-stage share split all
+    run as numpy reductions over a frozen job-order layout (rebuilt only
+    when placement changes), reading :class:`ArrayStats` demand vectors
+    without building a single per-job Python object.  Enforcement can
+    bypass the RPC fabric through ``enforce_array_sink(now, per_stage)``
+    -- ``per_stage`` aligned to :meth:`vector_job_ids` -- which the
+    sharded coordinator points straight at its shared-memory scatter
+    buffers; without a sink the vector path falls back to the batched
+    fabric pushes.  Every float is produced by the scalar path's exact
+    expression sequence, so the two modes are bit-identical
+    (``tests/core/test_vector_hierarchy.py`` pins this cycle-for-cycle).
     """
 
-    def __init__(self, *args, **kwargs) -> None:
+    def __init__(
+        self,
+        *args,
+        vectorized: bool = False,
+        enforce_array_sink: Optional[Callable[[float, np.ndarray], None]] = None,
+        **kwargs,
+    ) -> None:
         super().__init__(*args, **kwargs)
         #: local_id -> LocalController or RackEndpoint, in attach order.
         self._locals: Dict[str, Any] = {}
@@ -405,6 +467,19 @@ class HierarchicalControlPlane(ControlPlane):
         self._placement_version = 0
         self._hosting_version = -1
         self._hosting_locals: Dict[str, List[str]] = {}
+        self.vectorized = bool(vectorized)
+        self._enforce_array_sink = enforce_array_sink
+        # Frozen job-order layout for the vector path, rebuilt lazily on
+        # placement change; reservations have their own dirty flag since
+        # set_reservation does not move any stage.
+        self._vec_version = -1
+        self._vec_job_ids: Tuple[str, ...] = ()
+        self._vec_pos: Dict[str, int] = {}
+        self._vec_n_stages: Optional[np.ndarray] = None
+        self._vec_res: Optional[np.ndarray] = None
+        self._vec_res_dirty = True
+        #: local_id -> (job_ids ref, plane index array, valid selector).
+        self._vec_local_idx: Dict[str, tuple] = {}
 
     # -- topology ----------------------------------------------------------
     @property
@@ -539,7 +614,7 @@ class HierarchicalControlPlane(ControlPlane):
                     continue
                 continue
             self._missed_collects.pop(local_id, None)
-            if isinstance(result, AggregateStats):
+            if isinstance(result, _AGGREGATE_TYPES):
                 stats[local_id] = result
                 self._last_stats[local_id] = result
         return stats
@@ -555,7 +630,7 @@ class HierarchicalControlPlane(ControlPlane):
         ages = self._stats_age
         per_job_demand: Dict[str, float] = {}
         for local_id, agg in stats.items():
-            if not isinstance(agg, AggregateStats):
+            if not isinstance(agg, _AGGREGATE_TYPES):
                 continue
             discount = 1.0
             if halflife is not None and ages:
@@ -580,6 +655,187 @@ class HierarchicalControlPlane(ControlPlane):
             )
             for job_id, job in self._jobs.items()
         ]
+
+    # -- vectorised global tier ---------------------------------------------
+    @property
+    def placement_version(self) -> int:
+        """Bumps whenever a stage registers, deregisters, or is evicted.
+
+        Callers holding layout-derived caches (the sharded coordinator's
+        slot scatter map) key them on this.
+        """
+        return self._placement_version
+
+    def set_reservation(self, job_id: str, rate: float) -> None:
+        super().set_reservation(job_id, rate)
+        self._vec_res_dirty = True
+
+    def _ensure_vector_layout(self) -> None:
+        if self._vec_version == self._placement_version:
+            return
+        job_ids = tuple(self._jobs)
+        self._vec_job_ids = job_ids
+        self._vec_pos = {job_id: i for i, job_id in enumerate(job_ids)}
+        self._vec_n_stages = np.array(
+            [float(self._jobs[job_id].n_stages) for job_id in job_ids]
+        )
+        self._vec_res = None
+        self._vec_res_dirty = True
+        self._vec_local_idx = {}
+        self._vec_version = self._placement_version
+
+    def vector_job_ids(self) -> Tuple[str, ...]:
+        """The frozen job order of the vector path (``self._jobs`` order).
+
+        ``enforce_array_sink`` receives ``per_stage`` aligned to this.
+        """
+        self._ensure_vector_layout()
+        return self._vec_job_ids
+
+    def hosting_locals(self, job_id: str) -> List[str]:
+        """Locals hosting ``job_id``, first-appearance order (public)."""
+        return list(self._job_hosting_locals(job_id))
+
+    def _reservation_vec(self) -> np.ndarray:
+        if self._vec_res_dirty or self._vec_res is None:
+            jobs = self._jobs
+            self._vec_res = np.array(
+                [jobs[job_id].reservation for job_id in self._vec_job_ids]
+            )
+            self._vec_res_dirty = False
+        return self._vec_res
+
+    def _local_index(self, local_id: str, agg: ArrayStats):
+        """Plane-order index array for one local's job slots, cached.
+
+        Returns ``(idx, sel)``: ``demand[idx] += vals`` when every
+        reported job is registered (``sel is None``), else
+        ``demand[idx] += vals[sel]`` with unknown jobs masked out --
+        the vector form of the scalar path's "job finished since the
+        aggregate was taken" skip.  Within one local job ids are unique,
+        so the fancy-index add never has duplicate targets.
+        """
+        cached = self._vec_local_idx.get(local_id)
+        if cached is not None and (
+            cached[0] is agg.job_ids or cached[0] == agg.job_ids
+        ):
+            return cached[1], cached[2]
+        pos = self._vec_pos
+        raw = [pos.get(job_id, -1) for job_id in agg.job_ids]
+        idx = np.array(raw, dtype=np.intp)
+        if (idx >= 0).all():
+            entry = (agg.job_ids, idx, None)
+        else:
+            sel = np.flatnonzero(idx >= 0)
+            entry = (agg.job_ids, idx[sel], sel)
+        self._vec_local_idx[local_id] = entry
+        return entry[1], entry[2]
+
+    def _job_demand_vec(self, stats: Dict[str, AggregateStats]) -> np.ndarray:
+        """Merged per-job demand vector: ``_job_demands`` bit-for-bit.
+
+        Accumulation replays the scalar walk exactly -- locals in stats
+        order, one ``+=`` per local (each local reports a job at most
+        once, so the fancy-index add performs the same single addition
+        the dict accumulation would), per-local staleness discount as
+        the same elementwise multiply, implicit 0.0 start.
+        """
+        demand = np.zeros(len(self._vec_job_ids))
+        halflife = self.config.stale_halflife
+        ages = self._stats_age
+        pos = self._vec_pos
+        for local_id, agg in stats.items():
+            if not isinstance(agg, _AGGREGATE_TYPES):
+                continue
+            discount = 1.0
+            if halflife is not None and ages:
+                age = ages.get(local_id, 0.0)
+                if age > 0.0:
+                    discount = 0.5 ** (age / halflife)
+            if isinstance(agg, ArrayStats):
+                idx, sel = self._local_index(local_id, agg)
+                vals = agg.demand
+                if discount != 1.0:
+                    vals = vals * discount
+                if sel is None:
+                    demand[idx] += vals
+                else:
+                    demand[idx] += vals[sel]
+            else:
+                # Classic AggregateStats mixed into a vector cycle: fold
+                # it entry-by-entry with the scalar expression.
+                for job_id, job_demand, _n_stages in agg.jobs:
+                    i = pos.get(job_id)
+                    if i is None:
+                        continue
+                    if discount != 1.0:
+                        job_demand = job_demand * discount
+                    demand[i] += job_demand
+        return demand
+
+    def _enforce_algorithm_vec(
+        self, now: float, stats: Dict[str, AggregateStats], alloc_arrays
+    ) -> tuple[Optional[List[JobDemand]], Optional[Dict[str, float]]]:
+        """Vector twin of :meth:`_enforce_algorithm`, bit-identical.
+
+        Merge, allocate, clamp, log, and split run over job-order
+        arrays; the enforcement log receives the same ``(now, job_id,
+        rate)`` rows in the same order.  Pushes go through the array
+        sink when configured (the shm scatter buffers), else the batched
+        fabric fan-out.  The per-job ``JobDemand``/``enforced`` views
+        exist only for telemetry, so they are materialised only when a
+        telemetry sink is attached.
+        """
+        self._ensure_vector_layout()
+        job_ids = self._vec_job_ids
+        if not job_ids:
+            return None, None
+        demand = self._job_demand_vec(stats)
+        reservation = self._reservation_vec()
+        rates = alloc_arrays(job_ids, demand, reservation)
+        min_rate = self.config.min_rate
+        rates = np.maximum(min_rate, rates)
+        rate_list = rates.tolist()
+        self.enforcement_log.extend(
+            (now, job_id, rate) for job_id, rate in zip(job_ids, rate_list)
+        )
+        per_stage = np.maximum(min_rate, rates / self._vec_n_stages)
+        sink = self._enforce_array_sink
+        if sink is not None:
+            sink(now, per_stage)
+        else:
+            batches: Dict[str, List[Tuple[str, float, Optional[float]]]] = {}
+            for job_id, job_per_stage in zip(job_ids, per_stage.tolist()):
+                entry = (job_id, job_per_stage, None)
+                for local_id in self._job_hosting_locals(job_id):
+                    batch = batches.get(local_id)
+                    if batch is None:
+                        batches[local_id] = [entry]
+                    else:
+                        batch.append(entry)
+            channel = self.config.algorithm_channel
+            for local_id, entries in batches.items():
+                try:
+                    self.fabric.call(
+                        local_id,
+                        EnforceJobRateBatch(
+                            channel_id=channel, now=now, entries=tuple(entries)
+                        ),
+                    )
+                except RPCError:
+                    self.collect_failures += 1
+        if self._telemetry is not None:
+            jobs = self._jobs
+            demands = [
+                JobDemand(
+                    job_id=job_id,
+                    demand=job_demand,
+                    reservation=jobs[job_id].reservation,
+                )
+                for job_id, job_demand in zip(job_ids, demand.tolist())
+            ]
+            return demands, dict(zip(job_ids, rate_list))
+        return None, None
 
     def _push_job_rate(
         self,
@@ -623,7 +879,16 @@ class HierarchicalControlPlane(ControlPlane):
         cycle sends O(locals) RPCs instead of O(jobs x locals).  Within
         each batch the entries keep allocation order, which is the order
         the per-job path delivered them to that local.
+
+        With ``vectorized=True`` and an ``allocate_arrays``-capable
+        algorithm the cycle is delegated to the bit-identical
+        :meth:`_enforce_algorithm_vec`; algorithms without the array
+        verb (DRF, third-party) silently keep the scalar path.
         """
+        if self.vectorized:
+            alloc_arrays = getattr(self.algorithm, "allocate_arrays", None)
+            if alloc_arrays is not None:
+                return self._enforce_algorithm_vec(now, stats, alloc_arrays)
         demands = self._job_demands(stats)
         if not demands:
             return None, None
@@ -694,7 +959,7 @@ class HierarchicalControlPlane(ControlPlane):
                 for job_id, demand, n_stages in agg.jobs
             }
             for local_id, agg in stats.items()
-            if isinstance(agg, AggregateStats)
+            if isinstance(agg, _AGGREGATE_TYPES)
         }
         rates: Dict[str, float] = dict(enforced or {})
         for (job_id, channel_id), rate in policy_rates.items():

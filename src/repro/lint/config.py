@@ -41,6 +41,10 @@ class LintConfig:
         # break the 1-shard == N-shard bit-identity contract), so the entry
         # must survive any future narrowing of the parent prefix.
         "repro.simulation.sharded",
+        # The shared-memory wire of the sharded engine: same explicit pin,
+        # same reason -- a wall-clock read in the scatter/gather path would
+        # desynchronise the shm and pipe fabrics' bit-identity contract.
+        "repro.simulation.sharded.shm",
         "repro.pfs",
         "repro.core",
         "repro.experiments",

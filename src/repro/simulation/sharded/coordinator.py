@@ -37,6 +37,7 @@ from repro.errors import ConfigError
 from repro.core.controller import ControlPlaneConfig
 from repro.core.hierarchy import (
     AggregateStats,
+    ArrayStats,
     CollectAggregate,
     EnforceJobRate,
     EnforceJobRateBatch,
@@ -46,6 +47,7 @@ from repro.core.hierarchy import (
 from repro.core.stage import StageIdentity
 from repro.simulation.sharded.fluid import FluidConfig, RackSpec
 from repro.simulation.sharded.pool import ShardPool
+from repro.simulation.sharded.shm import BURST_NONE
 
 __all__ = ["ShardedConfig", "ShardedResult", "ShardedSimulation"]
 
@@ -161,6 +163,19 @@ class ShardedSimulation:
     ``cp.tick`` -- the fig4-style experiments use it to step the
     allocator's capacity on schedule.  ``vectorized=False`` forces every
     rack onto the scalar per-stage reference arithmetic.
+
+    ``fabric`` selects the shard wire (``"shm"`` zero-copy arrays or
+    ``"pipe"`` pickled payloads) and ``use_workers`` forces or suppresses
+    resident worker processes -- both forwarded to :class:`ShardPool`,
+    neither able to change a computed float.  ``vector_control``
+    (defaulting to ``vectorized``) runs the global tier on the plane's
+    vectorised path: demand partials stay float64 arrays end-to-end
+    (:class:`~repro.core.hierarchy.ArrayStats` slices over the pool's
+    index map), and the allocator's per-stage rates land directly in the
+    next epoch's scatter arrays through the plane's
+    ``enforce_array_sink``.  ``vector_control=False`` with
+    ``vectorized=False`` is the all-scalar A/B reference; the digest is
+    bit-identical either way.
     """
 
     def __init__(
@@ -171,15 +186,24 @@ class ShardedSimulation:
         vectorized: bool = True,
         controller_config: Optional[ControlPlaneConfig] = None,
         epoch_hook: Optional[Callable[[HierarchicalControlPlane, float], None]] = None,
+        fabric: str = "shm",
+        vector_control: Optional[bool] = None,
+        use_workers: Optional[bool] = None,
+        recv_timeout: float = 60.0,
     ) -> None:
         self.config = config
         self._epoch_hook = epoch_hook
         self._ran = False
         self._telemetry = telemetry
+        self._vector_control = (
+            bool(vectorized) if vector_control is None else bool(vector_control)
+        )
         #: rack_id -> latest AggregateStats, refreshed at each barrier.
         self._latest: Dict[str, AggregateStats] = {}
         #: rack_id -> rate updates buffered by the enforce endpoints.
         self._outbox: Dict[str, List[Tuple[str, float, Optional[float]]]] = {}
+        #: Per-slot demand partials of the latest barrier (vector mode).
+        self._latest_vec: Optional[np.ndarray] = None
 
         # Global registration order: jobs outer, stages inner -- the same
         # order a single engine would register them in, independent of
@@ -197,6 +221,9 @@ class ShardedSimulation:
                     (StageIdentity(f"{job_id}-s{s}", job_id), f"rack{rack}")
                 )
         self._rack_ids = [f"rack{r}" for r in range(config.n_racks)]
+        self._rack_index = {
+            rack_id: r for r, rack_id in enumerate(self._rack_ids)
+        }
         specs = [
             RackSpec(rack_id=f"rack{r}", index=r, stages=tuple(stages))
             for r, stages in enumerate(rack_stages)
@@ -211,12 +238,34 @@ class ShardedSimulation:
             size = q + (1 if s < r else 0)
             blocks.append(specs[start : start + size])
             start += size
-        self._pool = ShardPool(blocks, config.fluid, vectorized=vectorized)
+        self._pool = ShardPool(
+            blocks,
+            config.fluid,
+            vectorized=vectorized,
+            fabric=fabric,
+            use_workers=use_workers,
+            recv_timeout=recv_timeout,
+        )
+        # Scatter staging for the next epoch's enforcement (vector mode):
+        # slot writes land here during cp.tick -- policy pushes through
+        # the per-job verbs first, then the algorithm sink -- so chrono
+        # write order reproduces the outbox list's later-entry-wins.
+        n_slots = self._pool.n_slots
+        self._flags = np.zeros(n_slots)
+        self._rates_arr = np.zeros(n_slots)
+        self._bursts_arr = np.full(n_slots, BURST_NONE)
+        self._sink_version = -1
+        self._sink_slots: Optional[np.ndarray] = None
+        self._sink_reps: Optional[np.ndarray] = None
 
         self.control_plane = HierarchicalControlPlane(
             config=controller_config,
             algorithm=algorithm,
             telemetry=telemetry,
+            vectorized=self._vector_control,
+            enforce_array_sink=(
+                self._enforce_array_sink if self._vector_control else None
+            ),
         )
         for rack_id in self._rack_ids:
             self.control_plane.attach_local(
@@ -233,7 +282,20 @@ class ShardedSimulation:
     # -- RackEndpoint verbs -------------------------------------------------
     def _collect_rack(
         self, rack_id: str, message: CollectAggregate
-    ) -> AggregateStats:
+    ):
+        if self._vector_control:
+            index_map = self._pool.index_map
+            rack_index = self._rack_index[rack_id]
+            demand = self._latest_vec
+            if demand is None:
+                demand = np.zeros(self._pool.n_slots)
+            return ArrayStats(
+                local_id=rack_id,
+                timestamp=message.now,
+                job_ids=index_map.rack_job_ids[rack_index],
+                demand=demand[index_map.rack_slice(rack_id)],
+                stage_counts=index_map.rack_stage_counts[rack_index],
+            )
         latest = self._latest.get(rack_id)
         if latest is not None:
             return AggregateStats(
@@ -241,7 +303,20 @@ class ShardedSimulation:
             )
         return AggregateStats(local_id=rack_id, timestamp=message.now, jobs=())
 
+    def _slot_write(
+        self, rack_id: str, job_id: str, rate: float, burst: Optional[float]
+    ) -> None:
+        slot = self._pool.index_map.slot_of(rack_id, job_id)
+        if slot < 0:
+            return
+        self._flags[slot] = 1.0
+        self._rates_arr[slot] = rate
+        self._bursts_arr[slot] = BURST_NONE if burst is None else burst
+
     def _enforce_rack(self, rack_id: str, message: EnforceJobRate) -> bool:
+        if self._vector_control:
+            self._slot_write(rack_id, message.job_id, message.rate, message.burst)
+            return True
         self._outbox.setdefault(rack_id, []).append(
             (message.job_id, message.rate, message.burst)
         )
@@ -250,11 +325,56 @@ class ShardedSimulation:
     def _enforce_rack_batch(
         self, rack_id: str, message: EnforceJobRateBatch
     ) -> bool:
+        if self._vector_control:
+            for job_id, rate, burst in message.entries:
+                self._slot_write(rack_id, job_id, rate, burst)
+            return True
         # Batch entries are already (job_id, rate, burst) in allocation
         # order -- exactly the outbox element type, so one extend
         # replaces a per-job append per spanning job.
         self._outbox.setdefault(rack_id, []).extend(message.entries)
         return True
+
+    def _ensure_sink_layout(self) -> None:
+        """(job, hosting rack) -> global slot scatter map, placement-keyed.
+
+        ``_sink_slots[k]`` is the scatter slot of the k-th (job, rack)
+        hosting pair and ``_sink_reps[k]`` the job's index in the plane's
+        vector job order; each pair appears exactly once, so the fancy
+        assignments in :meth:`_enforce_array_sink` have no duplicate
+        targets and write order cannot matter.
+        """
+        version = self.control_plane.placement_version
+        if self._sink_version == version:
+            return
+        index_map = self._pool.index_map
+        job_ids = self.control_plane.vector_job_ids()
+        slots: List[int] = []
+        reps: List[int] = []
+        for position, job_id in enumerate(job_ids):
+            for rack_id in self.control_plane.hosting_locals(job_id):
+                slot = index_map.slot_of(rack_id, job_id)
+                if slot >= 0:
+                    slots.append(slot)
+                    reps.append(position)
+        self._sink_slots = np.array(slots, dtype=np.intp)
+        self._sink_reps = np.array(reps, dtype=np.intp)
+        self._sink_version = version
+
+    def _enforce_array_sink(self, now: float, per_stage: np.ndarray) -> None:
+        """The plane's vectorised enforcement lands in the scatter staging.
+
+        ``per_stage`` is aligned to the plane's vector job order; the
+        cached scatter map fans each job's (already split) rate out to
+        every hosting rack's slot.  Algorithm pushes carry no explicit
+        burst (the rack derives ``rate * burst_seconds``), hence the NaN
+        sentinel.
+        """
+        self._ensure_sink_layout()
+        slots = self._sink_slots
+        self._flags[slots] = 1.0
+        self._rates_arr[slots] = per_stage[self._sink_reps]
+        self._bursts_arr[slots] = BURST_NONE
 
     # -- run loop -----------------------------------------------------------
     def run(self, duration: float) -> "ShardedSimulation":
@@ -271,6 +391,8 @@ class ShardedSimulation:
         self._ran = True
         n_epochs = int(round(epochs))
         ticks_per_epoch = int(round(config.loop_interval / config.fluid.dt))
+        if self._vector_control:
+            return self._run_vector(n_epochs, ticks_per_epoch)
         rates: Dict[str, List[Tuple[str, float, Optional[float]]]] = {}
         for epoch in range(n_epochs):
             t0 = epoch * config.loop_interval
@@ -300,6 +422,46 @@ class ShardedSimulation:
                     epoch=epoch,
                     racks=len(self._latest),
                     pushes=sum(len(v) for v in rates.values()),
+                )
+        return self
+
+    def _run_vector(self, n_epochs: int, ticks_per_epoch: int) -> "ShardedSimulation":
+        """Array-native epoch loop: no per-job Python objects per cycle.
+
+        Demand partials come back as one float64 slot vector, the rack
+        endpoints answer collects with :class:`ArrayStats` slices over
+        it, and enforcement writes land in the scatter staging arrays to
+        ride the *next* epoch out -- the same one-epoch enforcement
+        latency as the triple-based loop, bit-identical results.
+        """
+        config = self.config
+        loop_interval = config.loop_interval
+        control_plane = self.control_plane
+        pool = self._pool
+        flags = self._flags
+        telemetry = self._telemetry
+        for epoch in range(n_epochs):
+            t0 = epoch * loop_interval
+            self._latest_vec = pool.run_epoch_arrays(
+                t0,
+                ticks_per_epoch,
+                loop_interval,
+                flags,
+                self._rates_arr,
+                self._bursts_arr,
+            )
+            now = t0 + loop_interval
+            if self._epoch_hook is not None:
+                self._epoch_hook(control_plane, now)
+            flags[:] = 0.0
+            control_plane.tick(now)
+            if telemetry is not None:
+                telemetry.events.emit(
+                    "shard.epoch",
+                    now,
+                    epoch=epoch,
+                    racks=config.n_racks,
+                    pushes=int(np.count_nonzero(flags)),
                 )
         return self
 

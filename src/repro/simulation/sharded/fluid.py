@@ -230,6 +230,33 @@ class FluidRack:
         self.burst_limit = self._job_burst[job_of]
         np.minimum(self.tokens, self.burst_limit, out=self.tokens)
 
+    def apply_rate_arrays(
+        self, mask: np.ndarray, rates: np.ndarray, bursts: np.ndarray
+    ) -> None:
+        """Install rates from fixed-layout per-job arrays (the shm wire).
+
+        ``mask``/``rates``/``bursts`` are aligned to this rack's local job
+        slots (registration order, the :class:`~repro.simulation.sharded.shm.
+        ShardIndexMap` layout); NaN in ``bursts`` means "derive from the
+        rate" exactly like ``burst=None`` above.  Per slot this performs
+        the same assignment and ``rate * burst_seconds`` multiply as
+        :meth:`apply_rates` -- assignments and elementwise multiplies are
+        bit-identical scalar-vs-vector, so either entry point yields the
+        same rack state.  Used by the shared-memory fabric in both
+        execution modes.
+        """
+        if not mask.any():
+            return
+        sel_rates = rates[mask]
+        sel_bursts = bursts[mask]
+        derived = sel_rates * self.config.burst_seconds
+        self._job_rate[mask] = sel_rates
+        self._job_burst[mask] = np.where(np.isnan(sel_bursts), derived, sel_bursts)
+        job_of = self.job_of
+        self.rate = self._job_rate[job_of]
+        self.burst_limit = self._job_burst[job_of]
+        np.minimum(self.tokens, self.burst_limit, out=self.tokens)
+
     # -- per-tick advance ---------------------------------------------------
     def _offered(self, t: float) -> np.ndarray:
         """Offered load (ops/s) per stage at time ``t``.
@@ -329,6 +356,23 @@ class FluidRack:
         """
         if self._n == 0:
             return ()
+        per_job = self.demand_partials_array(loop_interval)
+        # tolist() yields the same Python floats as per-element float()
+        # casts; zip builds the triples at C speed -- this is the
+        # per-epoch reporting path for every job on every rack.
+        return tuple(
+            zip(self.job_ids, per_job.tolist(), self._stage_counts_list)
+        )
+
+    def demand_partials_array(self, loop_interval: float) -> np.ndarray:
+        """Per-job demand partials as a float64 array, then reset.
+
+        Same accumulation as :meth:`demand_partials` (it delegates here)
+        without materialising ``(job_id, demand, n_stages)`` triples: the
+        shared-memory fabric ships this array over the wire verbatim and
+        the static index map supplies ids and stage counts, so the
+        per-epoch reporting path allocates no Python tuples at all.
+        """
         contrib = self.window_enqueued / loop_interval + self.backlog / loop_interval
         if self.vectorized:
             per_job = np.bincount(
@@ -341,12 +385,7 @@ class FluidRack:
                 idx = job_of[i]
                 per_job[idx] = per_job[idx] + contrib[i]
         self.window_enqueued[:] = 0.0
-        # tolist() yields the same Python floats as per-element float()
-        # casts; zip builds the triples at C speed -- this is the
-        # per-epoch reporting path for every job on every rack.
-        return tuple(
-            zip(self.job_ids, per_job.tolist(), self._stage_counts_list)
-        )
+        return per_job
 
     def served_series(self) -> np.ndarray:
         """Ops served by the rack MDS, one entry per tick."""

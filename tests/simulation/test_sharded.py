@@ -202,12 +202,27 @@ class TestEnforcement:
     def test_enforcement_reaches_every_hosting_rack(self):
         config = small_config()
         sim = ShardedSimulation(
-            config, algorithm=ProportionalSharing(capacity=120.0)
+            config,
+            algorithm=ProportionalSharing(capacity=120.0),
+            vector_control=False,
         )
         sim.run(3.0)
         # After the first tick, pushes are buffered for the next epoch:
         # with split placement every rack hosts stages of several jobs.
         assert set(sim._outbox) == set(sim.control_plane.locals)
+        sim.close()
+
+    def test_vector_enforcement_flags_every_hosting_slot(self):
+        config = small_config()
+        sim = ShardedSimulation(
+            config, algorithm=ProportionalSharing(capacity=120.0)
+        )
+        sim.run(3.0)
+        # Vector control stages pushes as scatter slot flags instead of
+        # outbox triples: after the last tick every hosted (rack, job)
+        # slot is flagged for the epoch that would follow.
+        assert np.count_nonzero(sim._flags) == sim._pool.n_slots
+        assert not sim._outbox
         sim.close()
 
 
