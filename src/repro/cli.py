@@ -304,9 +304,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="report format (json is the CI artifact schema)",
+        help="report format (json is the CI artifact schema; sarif feeds "
+        "GitHub code scanning)",
+    )
+    lint.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="parse cache-miss files with N worker processes",
+    )
+    lint.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the incremental cache under [tool.padll-lint] cache-dir",
     )
     lint.add_argument(
         "--baseline",
@@ -764,14 +777,26 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from repro.errors import ConfigError
-    from repro.lint import Baseline, lint_paths, load_config, render_json, render_text
+    from repro.lint import (
+        Baseline,
+        lint_paths,
+        load_config,
+        render_json,
+        render_sarif,
+        render_text,
+    )
 
     try:
         config = load_config(Path(args.config) if args.config else None)
         baseline_path = config.resolve(config.baseline)
+        cache_dir = None if args.no_cache else config.resolve(config.cache_dir)
+        jobs = max(1, args.jobs)
         if args.write_baseline:
             result = lint_paths(
-                [Path(p) for p in args.paths] or None, config
+                [Path(p) for p in args.paths] or None,
+                config,
+                jobs=jobs,
+                cache_dir=cache_dir,
             )
             if result.parse_errors:
                 for error in result.parse_errors:
@@ -787,13 +812,19 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             return 0
         baseline = Baseline.load(baseline_path) if args.baseline else None
         result = lint_paths(
-            [Path(p) for p in args.paths] or None, config, baseline=baseline
+            [Path(p) for p in args.paths] or None,
+            config,
+            baseline=baseline,
+            jobs=jobs,
+            cache_dir=cache_dir,
         )
     except ConfigError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if args.format == "json":
         print(render_json(result))
+    elif args.format == "sarif":
+        print(render_sarif(result))
     else:
         print(render_text(result, verbose=args.verbose))
     return 0 if result.ok else 1

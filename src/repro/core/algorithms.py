@@ -321,6 +321,11 @@ class DominantResourceFairness(AllocationAlgorithm):
     monotone in ``s``, so the search converges geometrically).
     """
 
+    #: Registered scalar-only (VEC001): the binary search over the
+    #: dominant share has no array formulation yet, so the vectorized
+    #: control tier intentionally falls back to this scalar path.
+    scalar_only = True
+
     def __init__(
         self,
         capacities: Mapping[str, float],

@@ -1,0 +1,107 @@
+"""Incremental per-file result cache for the lint engine.
+
+A warm ``padll-repro lint`` run should be ~instant: for every unchanged
+file the engine loads the cached record (per-module findings with
+pragmas already applied, the module's :class:`ModuleFacts` for the
+project pass, the pragma index, and any parse error) instead of
+re-reading rules over a re-parsed tree.  The cross-module pass is
+recomputed every run from the (cached or fresh) facts -- it is cheap,
+and caching it would make its validity depend on *every* file at once.
+
+Keying is strictly content-addressed; there are no timestamps.  One
+cache entry is valid iff **all** of the following match:
+
+* the file's **source SHA-256** (the engine hashes what it just read,
+  so a stale entry can never survive an edit),
+* the **config fingerprint** (every field except ``root``, so moving a
+  checkout does not invalidate, but changing layers/disable/exclude
+  does),
+* the **rule-set signature** (rule ids of both passes plus the
+  ``CACHE_VERSION``/``FACTS_VERSION`` counters -- bumping either after
+  a semantic change flushes every entry at once),
+* the file's display path (the same content at two paths reports
+  different finding paths, so entries are not shared between them).
+
+Entries are one JSON file per key under the cache directory
+(``.padll-lint-cache/`` by default; configured via ``cache-dir``).
+Writes go through a temp file + ``os.replace`` so a crashed run can
+leave at worst a stale temp file, never a torn entry.  Any unreadable
+or undecodable entry is treated as a miss and rewritten.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.lint.config import LintConfig
+
+__all__ = [
+    "CACHE_VERSION",
+    "LintCache",
+    "config_fingerprint",
+    "source_sha",
+]
+
+#: Bump to invalidate every cache entry (record-shape changes).
+CACHE_VERSION = 1
+
+
+def source_sha(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def config_fingerprint(config: LintConfig) -> str:
+    """Hash of every config field except the checkout-local ``root``."""
+    doc = dataclasses.asdict(config)
+    doc.pop("root", None)
+    payload = json.dumps(doc, sort_keys=True, default=list)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class LintCache:
+    """Content-addressed store of per-file lint records."""
+
+    def __init__(self, directory: Path, signature: str) -> None:
+        self.directory = Path(directory)
+        #: combined rule-set + config signature mixed into every key
+        self.signature = signature
+
+    def key(self, display_path: str, sha: str) -> str:
+        payload = "\n".join(
+            (str(CACHE_VERSION), self.signature, display_path, sha)
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def _entry_path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def load(self, key: str) -> Optional[Dict[str, Any]]:
+        try:
+            text = self._entry_path(key).read_text(encoding="utf-8")
+            doc = json.loads(text)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(doc, dict):
+            return None
+        return doc
+
+    def store(self, key: str, record: Dict[str, Any]) -> None:
+        """Best-effort atomic write; a read-only cache dir is not fatal."""
+        entry = self._entry_path(key)
+        tmp = entry.with_suffix(".tmp")
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(
+                json.dumps(record, sort_keys=True), encoding="utf-8"
+            )
+            os.replace(tmp, entry)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass

@@ -1,0 +1,93 @@
+"""Cross-module call graph over collected :class:`ModuleFacts`.
+
+Built once per lint run (lazily, on first access through
+``ProjectContext.callgraph``) from the function tables the collector
+recorded -- no AST is re-walked here.  Nodes are functions keyed
+``module::qualname``; edges come from two sources:
+
+* **canonical calls** -- a resolved call like ``repro.runner.cache.key``
+  links to that function if any scanned module defines it; a call to a
+  scanned *class* links to its ``__init__`` (constructing is calling).
+* **bare method calls** -- ``obj.tick()`` cannot be resolved to a single
+  receiver statically, so it links to *every* scanned function named
+  ``tick``.  This deliberately over-approximates: reachability is used
+  to decide where stricter rules apply (FLT001's digest closure), and
+  an over-edge merely widens the guarded region, while a missed edge
+  would let a drift through silently.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+__all__ = ["CallGraph"]
+
+
+class CallGraph:
+    """Forward call edges between every function the collector saw."""
+
+    def __init__(self, modules: Sequence) -> None:
+        #: node id -> (module facts, function fact)
+        self.nodes: Dict[str, Tuple[object, object]] = {}
+        canonical_index: Dict[str, str] = {}
+        name_index: Dict[str, List[str]] = {}
+        ctor_index: Dict[str, str] = {}
+        for facts in modules:
+            for func in facts.functions:
+                node = f"{facts.module}::{func.qualname}"
+                self.nodes[node] = (facts, func)
+                canonical_index.setdefault(
+                    f"{facts.module}.{func.qualname}", node
+                )
+                name_index.setdefault(func.name, []).append(node)
+                if func.name == "__init__" and "." in func.qualname:
+                    owner = func.qualname.rsplit(".", 1)[0]
+                    ctor_index.setdefault(f"{facts.module}.{owner}", node)
+        self._reverse: "Dict[str, Set[str]] | None" = None
+        self.edges: Dict[str, Set[str]] = {node: set() for node in self.nodes}
+        for node, (facts, func) in self.nodes.items():
+            out = self.edges[node]
+            for call in func.calls:
+                target = canonical_index.get(call) or ctor_index.get(call)
+                if target is not None:
+                    out.add(target)
+                else:
+                    # ``mod.Class.method`` style calls: strip the module
+                    # prefix progressively so ``repro.x.Cls.run`` finds
+                    # the scanned ``Cls.run``.
+                    tail = call.rsplit(".", 1)[-1]
+                    for candidate in name_index.get(tail, ()):
+                        _, cand_func = self.nodes[candidate]
+                        if call.endswith("." + cand_func.qualname):
+                            out.add(candidate)
+            for method in func.method_calls:
+                for candidate in name_index.get(method, ()):
+                    out.add(candidate)
+
+    def reachable(self, roots: Iterable[str]) -> Set[str]:
+        """Every node reachable from ``roots`` (roots included)."""
+        return self._closure(roots, self.edges)
+
+    def reverse_reachable(self, roots: Iterable[str]) -> Set[str]:
+        """Every node that can reach ``roots`` (roots included)."""
+        if self._reverse is None:
+            reverse: Dict[str, Set[str]] = {node: set() for node in self.nodes}
+            for node, targets in self.edges.items():
+                for target in targets:
+                    reverse[target].add(node)
+            self._reverse = reverse
+        return self._closure(roots, self._reverse)
+
+    def _closure(
+        self, roots: Iterable[str], edges: Dict[str, Set[str]]
+    ) -> Set[str]:
+        seen: Set[str] = set()
+        frontier = [root for root in roots if root in self.nodes]
+        seen.update(frontier)
+        while frontier:
+            node = frontier.pop()
+            for nxt in edges.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return seen

@@ -1,0 +1,339 @@
+"""Cross-module project rules (WIRE, SHM, VEC, FLT families).
+
+These run in the engine's second pass, after every module's
+:class:`~repro.lint.project.ModuleFacts` has been collected, and see the
+whole program through a :class:`~repro.lint.project.ProjectContext`.
+They guard the invariants that no single module can witness:
+
+* **WIRE001** -- every constructed RPC verb (transitive subclass of
+  ``repro.core.rpc.RpcMessage``) is isinstance-dispatched by some
+  ``handle*`` function somewhere in the project.
+* **WIRE002** -- positional tuple-unpacks of wire sequence payloads
+  (``Tuple[SomeNamedTuple, ...]`` / ``Tuple[Tuple[a, b, c], ...]``
+  class fields) match the declared arity.
+* **WIRE003** -- arrays owned by a ``LAYOUT_VERSION``-guarded layout
+  module are never *written* through a subscript outside that module's
+  package: the slot-map API is the only writer.
+* **SHM001** -- those same arrays are only indexed through a bare
+  name/attribute (the epoch-parity selector shape); raw numeric, slice,
+  or tuple indexes bypass the parity discipline.
+* **SHM002** -- segment hygiene: ``SharedMemory`` is only constructed
+  inside layout modules, ``resource_tracker.unregister`` is never
+  called directly, and a segment obtained via ``attach_segment`` is
+  never ``unlink``-ed by its attacher (workers attach-only; creators
+  own unlink).
+* **VEC001** -- an ``AllocationAlgorithm`` subclass that defines
+  ``allocate`` must also define ``allocate_arrays`` or carry a
+  class-body ``scalar_only = True`` registration, keeping the
+  ``vectorized=True`` control tier honest as policies grow.
+* **FLT001** -- full (non-axis) ``np.sum``/``.sum()`` reductions in
+  deterministic layers that share a call chain with a digest
+  (hashlib-consuming) function must route through ``_seq_sum`` or
+  carry a justification pragma: numpy's pairwise summation order is a
+  documented digest hazard.
+
+Every rule emits at a concrete source site, so the standard pragma
+(``# padll: allow(WIRE001)``) and baseline machinery apply unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.lint.project import ModuleFacts, ProjectContext
+
+__all__ = [
+    "PROJECT_RULES",
+    "ProjectRule",
+    "all_project_rule_ids",
+]
+
+RPC_MESSAGE_BASE = "repro.core.rpc.RpcMessage"
+ALGORITHM_BASE = "repro.core.algorithms.AllocationAlgorithm"
+
+
+class ProjectRule:
+    """A cross-module rule: sees every module's facts at once."""
+
+    id: str = ""
+    summary: str = ""
+
+    def check_project(self, project: ProjectContext) -> None:
+        raise NotImplementedError
+
+
+class UnhandledVerbRule(ProjectRule):
+    """WIRE001: every constructed RPC verb has a registered handler."""
+
+    id = "WIRE001"
+    summary = (
+        "RPC verb is constructed but no handle* dispatcher "
+        "isinstance-checks it"
+    )
+
+    def check_project(self, project: ProjectContext) -> None:
+        verbs = project.subclasses_of(RPC_MESSAGE_BASE)
+        if not verbs:
+            return
+        checked: Set[str] = set()
+        for facts in project.modules:
+            checked.update(facts.handler_checks)
+
+        def handled(verb: str) -> bool:
+            if verb in checked:
+                return True
+            # A dispatcher matching a base class handles every subclass.
+            return bool(project.ancestors(verb) & checked)
+
+        for facts in project.modules:
+            for site in facts.constructions:
+                if site.name in verbs and not handled(site.name):
+                    project.emit_at(
+                        self.id,
+                        facts,
+                        site,
+                        f"RPC verb {site.name.rsplit('.', 1)[-1]} is "
+                        "constructed here but no handle* dispatcher "
+                        "isinstance-checks it (or a base class) anywhere "
+                        "in the project; register a handler on the "
+                        "receiving endpoint",
+                    )
+
+
+class WireArityRule(ProjectRule):
+    """WIRE002: positional unpacks of wire payloads match declared arity."""
+
+    id = "WIRE002"
+    summary = (
+        "positional unpack arity does not match the wire payload's "
+        "declared element shape"
+    )
+
+    def check_project(self, project: ProjectContext) -> None:
+        # attr name -> set of declared element arities, from every
+        # ``attr: Tuple[Elem, ...]`` class field in the project.
+        arities: Dict[str, Set[int]] = {}
+        for facts in project.modules:
+            for cls in facts.classes:
+                for seq in cls.seq_fields:
+                    if seq.kind == "arity":
+                        arities.setdefault(seq.attr, set()).add(int(seq.value))
+                    else:
+                        entry = project.class_index.get(seq.value)
+                        if entry is not None and entry[1].is_namedtuple:
+                            arities.setdefault(seq.attr, set()).add(
+                                entry[1].field_count
+                            )
+        if not arities:
+            return
+        for facts in project.modules:
+            for site in facts.unpacks:
+                declared = arities.get(site.attr)
+                if declared and site.arity not in declared:
+                    want = ", ".join(str(n) for n in sorted(declared))
+                    project.emit_at(
+                        self.id,
+                        facts,
+                        site,
+                        f"positional unpack of .{site.attr} binds "
+                        f"{site.arity} names but the wire payload "
+                        f"declares {want}-field elements; unpack every "
+                        "field (or index explicitly) so arity drift "
+                        "fails loudly",
+                    )
+
+
+class LayoutWriteRule(ProjectRule):
+    """WIRE003: layout-guarded arrays are not written outside their package."""
+
+    id = "WIRE003"
+    summary = (
+        "LAYOUT_VERSION-guarded array written through a subscript "
+        "outside the layout package"
+    )
+
+    def check_project(self, project: ProjectContext) -> None:
+        guarded = project.guarded_array_attrs()
+        if not guarded:
+            return
+        for facts in project.modules:
+            if project.in_layout_package(facts.module):
+                continue
+            for site in facts.subscripts:
+                if site.store and site.attr in guarded:
+                    project.emit_at(
+                        self.id,
+                        facts,
+                        site,
+                        f".{site.attr} is a LAYOUT_VERSION-guarded wire "
+                        "buffer; writing it outside the layout package "
+                        "bypasses the slot-map API and the layout-token "
+                        "compatibility guard",
+                    )
+
+
+class ParityIndexRule(ProjectRule):
+    """SHM001: guarded shm buffers indexed only through parity selectors."""
+
+    id = "SHM001"
+    summary = (
+        "shared-memory buffer indexed with a raw (non parity-selector) "
+        "index"
+    )
+
+    def check_project(self, project: ProjectContext) -> None:
+        guarded = project.guarded_array_attrs()
+        if not guarded:
+            return
+        for facts in project.modules:
+            for site in facts.subscripts:
+                if site.attr in guarded and site.index != "name":
+                    project.emit_at(
+                        self.id,
+                        facts,
+                        site,
+                        f".{site.attr} is a double-buffered shm block: "
+                        "the first index must be the epoch-parity "
+                        f"selector, not a raw {site.index} index that "
+                        "can read the in-flight half",
+                    )
+
+
+class SegmentHygieneRule(ProjectRule):
+    """SHM002: attach-only workers, creator-owned unlink."""
+
+    id = "SHM002"
+    summary = (
+        "shared-memory segment lifecycle violation (raw ctor, direct "
+        "unregister, or attacher-side unlink)"
+    )
+
+    def check_project(self, project: ProjectContext) -> None:
+        for facts in project.modules:
+            if not facts.is_layout:
+                for site in facts.shm_ctors:
+                    project.emit_at(
+                        self.id,
+                        facts,
+                        site,
+                        "raw SharedMemory construction outside a layout "
+                        "module; go through the layout module's "
+                        "create/attach API so segment hygiene stays in "
+                        "one place",
+                    )
+            for site in facts.unregisters:
+                project.emit_at(
+                    self.id,
+                    facts,
+                    site,
+                    "direct resource_tracker.unregister call: on this "
+                    "Python the tracker is process-tree-global, so an "
+                    "attacher-side unregister erases the creator's entry "
+                    "and crashes the creator's unlink",
+                )
+            for site in facts.attach_unlinks:
+                project.emit_at(
+                    self.id,
+                    facts,
+                    site,
+                    "segment obtained via attach_segment is unlink-ed by "
+                    "its attacher; workers are attach-only -- the "
+                    "creator owns the single unlink",
+                )
+
+
+class ScalarVectorParityRule(ProjectRule):
+    """VEC001: allocate implies allocate_arrays (or scalar_only opt-out)."""
+
+    id = "VEC001"
+    summary = (
+        "Algorithm subclass defines allocate without allocate_arrays "
+        "or a scalar_only registration"
+    )
+
+    def check_project(self, project: ProjectContext) -> None:
+        for name in sorted(project.subclasses_of(ALGORITHM_BASE)):
+            facts, cls = project.class_index[name]
+            if "allocate" not in cls.methods:
+                continue
+            if "allocate_arrays" in cls.methods:
+                continue
+            if "scalar_only" in cls.flags:
+                continue
+            project.emit(
+                self.id,
+                facts,
+                cls.line,
+                cls.col,
+                cls.source,
+                f"{cls.name} defines allocate but not allocate_arrays; "
+                "the vectorized control tier will silently fall back to "
+                "the scalar path -- implement allocate_arrays or declare "
+                "`scalar_only = True` in the class body",
+            )
+
+
+class DigestSumRule(ProjectRule):
+    """FLT001: digest-adjacent full reductions must use _seq_sum."""
+
+    id = "FLT001"
+    summary = (
+        "full np.sum/.sum() reduction in a deterministic layer on a "
+        "digest-feeding call chain"
+    )
+
+    def check_project(self, project: ProjectContext) -> None:
+        graph = project.callgraph
+        # Digest sinks: functions that hash, or are named like digests.
+        sinks = [
+            node
+            for node, (_, func) in graph.nodes.items()
+            if func.uses_hashlib
+            or func.name == "digest"
+            or func.name.endswith("_digest")
+        ]
+        if not sinks:
+            return
+        # "Feeds a digest path" is over-approximated as sharing a call
+        # chain with a sink: every function that can reach a sink
+        # (reverse closure -- the computations that end in hashing),
+        # plus everything those computations call (forward closure --
+        # the values they fold into the hash).  Both hops are
+        # conservative by design; the pragma carries the justification
+        # when a site is provably order-stable.
+        producers = graph.reverse_reachable(sinks)
+        region = graph.reachable(producers)
+        for node in sorted(region):
+            facts, func = graph.nodes[node]
+            if not func.sum_sites:
+                continue
+            if not project.config.in_layer(
+                facts.module, project.config.deterministic_layers
+            ):
+                continue
+            for site in func.sum_sites:
+                project.emit_at(
+                    self.id,
+                    facts,
+                    site,
+                    f"full {site.kind} reduction in deterministic layer "
+                    f"{facts.module} on a digest-feeding call chain; "
+                    "numpy pairwise summation order is shape-dependent "
+                    "-- route through _seq_sum or pragma with a "
+                    "justification",
+                )
+
+
+PROJECT_RULES: Tuple[ProjectRule, ...] = (
+    UnhandledVerbRule(),
+    WireArityRule(),
+    LayoutWriteRule(),
+    ParityIndexRule(),
+    SegmentHygieneRule(),
+    ScalarVectorParityRule(),
+    DigestSumRule(),
+)
+
+
+def all_project_rule_ids() -> Tuple[str, ...]:
+    return tuple(rule.id for rule in PROJECT_RULES)

@@ -11,11 +11,13 @@ import json
 from typing import Any, Dict
 
 from repro.lint.engine import LintResult
+from repro.lint.project_rules import PROJECT_RULES
 from repro.lint.rules import RULES
 
 __all__ = ["REPORT_VERSION", "render_json", "render_text"]
 
-REPORT_VERSION = 1
+#: v2: ``active_by_rule`` gained the cross-module WIRE/SHM/VEC/FLT ids.
+REPORT_VERSION = 2
 
 
 def render_text(result: LintResult, verbose: bool = False) -> str:
@@ -43,7 +45,9 @@ def render_text(result: LintResult, verbose: bool = False) -> str:
 
 def render_json(result: LintResult) -> str:
     """Deterministically-serialised machine report."""
-    by_rule: Dict[str, int] = {rule.id: 0 for rule in RULES}
+    by_rule: Dict[str, int] = {
+        rule.id: 0 for rule in (*RULES, *PROJECT_RULES)
+    }
     for finding in result.active:
         by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
     doc: Dict[str, Any] = {

@@ -10,22 +10,47 @@ bare name that no import binds resolves to itself (which is how builtin
 calls like ``id(...)`` and ``open(...)`` are recognised).  Rebinding a
 builtin locally can therefore shadow-confuse a rule; the pragma escape
 hatch covers that rare case.
+
+Two deliberately conservative extensions keep rules from *silently*
+missing:
+
+* **Relative imports** resolve against the module's own dotted name
+  (``from ..core import fabric`` inside ``repro.simulation.sharded.pool``
+  binds ``fabric`` to ``repro.core.fabric``), so project-internal names
+  reach the cross-module rules in canonical form.
+* **Star imports** cannot bind individual names, but they are recorded;
+  :meth:`ImportResolver.resolve_candidates` returns every plausible
+  canonical name for an expression (the direct resolution *plus* one
+  candidate per ``from x import *``), and the table-matching rules check
+  all of them.  ``from time import *; perf_counter()`` therefore still
+  trips DET001 instead of resolving to a bare, unmatched name.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 __all__ = ["ImportResolver"]
 
 
 class ImportResolver:
-    """Maps surface names in one module to canonical dotted names."""
+    """Maps surface names in one module to canonical dotted names.
 
-    def __init__(self, tree: ast.AST) -> None:
+    ``module`` is the dotted name of the module being scanned and
+    ``is_package`` whether it is a package ``__init__``; both are only
+    needed to anchor relative imports (without them, relative imports
+    are skipped exactly as before).
+    """
+
+    def __init__(
+        self, tree: ast.AST, module: str = "", is_package: bool = False
+    ) -> None:
         #: local alias -> canonical dotted prefix
         self.aliases: Dict[str, str] = {}
+        #: modules star-imported into this namespace, in source order
+        self.star_modules: Tuple[str, ...] = ()
+        stars = []
         for node in ast.walk(tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
@@ -33,14 +58,36 @@ class ImportResolver:
                     canonical = alias.name if alias.asname else local
                     self.aliases[local] = canonical
             elif isinstance(node, ast.ImportFrom):
-                if node.level:  # relative import: package-local, never a
-                    continue  # stdlib/numpy target the rule tables name
-                module = node.module or ""
+                source = self._import_source(node, module, is_package)
+                if source is None:
+                    continue  # relative import with no anchor: skip, as before
                 for alias in node.names:
                     if alias.name == "*":
+                        stars.append(source)
                         continue
                     local = alias.asname or alias.name
-                    self.aliases[local] = f"{module}.{alias.name}"
+                    self.aliases[local] = f"{source}.{alias.name}"
+        self.star_modules = tuple(dict.fromkeys(stars))
+
+    @staticmethod
+    def _import_source(
+        node: ast.ImportFrom, module: str, is_package: bool
+    ) -> Optional[str]:
+        """Canonical module an ``ImportFrom`` pulls from, or None."""
+        if not node.level:
+            return node.module or None
+        if not module:
+            return None  # relative import, but the scanner has no anchor
+        parts = module.split(".")
+        # level=1 is the containing package: the module itself for a
+        # package __init__, the parent for a plain module.
+        drop = node.level - 1 if is_package else node.level
+        if drop >= len(parts):
+            return None  # beyond the top-level package: unanchorable
+        base = parts[: len(parts) - drop]
+        if node.module:
+            return ".".join(base) + f".{node.module}"
+        return ".".join(base)
 
     def resolve(self, node: ast.AST) -> Optional[str]:
         """Canonical dotted name of an expression, or None if unknown.
@@ -61,3 +108,42 @@ class ImportResolver:
 
     def resolve_call(self, node: ast.Call) -> Optional[str]:
         return self.resolve(node.func)
+
+    def resolve_candidates(self, node: ast.AST) -> Tuple[str, ...]:
+        """Every canonical name ``node`` could denote, most direct first.
+
+        The first entry is :meth:`resolve`'s answer (when it has one).
+        When the expression is rooted in a bare name that no import
+        binds *and* the module has star imports, one extra candidate per
+        star-imported module is appended: the name may have been bound
+        by any of them, and a rule that ignored that possibility would
+        silently miss.
+        """
+        primary = self.resolve(node)
+        candidates = [] if primary is None else [primary]
+        root, chain = self._root_chain(node)
+        if (
+            root is not None
+            and root not in self.aliases
+            and self.star_modules
+        ):
+            suffix = ".".join([root, *chain])
+            for star in self.star_modules:
+                candidate = f"{star}.{suffix}"
+                if candidate not in candidates:
+                    candidates.append(candidate)
+        return tuple(candidates)
+
+    def resolve_call_candidates(self, node: ast.Call) -> Tuple[str, ...]:
+        return self.resolve_candidates(node.func)
+
+    @staticmethod
+    def _root_chain(node: ast.AST) -> Tuple[Optional[str], Tuple[str, ...]]:
+        """Split ``a.b.c`` into (root name ``a``, attribute chain)."""
+        chain = []
+        while isinstance(node, ast.Attribute):
+            chain.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            return node.id, tuple(reversed(chain))
+        return None, ()

@@ -35,15 +35,23 @@ class LintContext:
         self.module = module
         self.tree = tree
         self.config = config
-        self.resolver = ImportResolver(tree)
+        self.resolver = ImportResolver(
+            tree, module=module, is_package=path.endswith("__init__.py")
+        )
         self.source_lines = source.splitlines()
         self.findings: List[Finding] = []
-        self._parents: Dict[ast.AST, ast.AST] = {}
-        for parent in ast.walk(tree):
-            for child in ast.iter_child_nodes(parent):
-                self._parents[child] = parent
+        # Built lazily on the first parent() call: most rules never ask
+        # for parents, and the full ast.walk to build the map costs more
+        # than the rule dispatch itself on large modules (docs/LINT.md
+        # has the measurement).
+        self._parents: Optional[Dict[ast.AST, ast.AST]] = None
 
     def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        if self._parents is None:
+            self._parents = {}
+            for parent in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(parent):
+                    self._parents[child] = parent
         return self._parents.get(node)
 
     def source_line(self, lineno: int) -> str:
@@ -127,16 +135,17 @@ class WallClockRule(Rule):
     def check(self, node: ast.AST, ctx: LintContext) -> None:
         if not isinstance(node, ast.Call):
             return
-        name = ctx.resolver.resolve_call(node)
-        if name in _WALL_CLOCK_CALLS:
-            ctx.emit(
-                self.id,
-                node,
-                f"wall-clock call {name}() in deterministic layer "
-                f"{ctx.module}; simulated time must come from the engine "
-                f"(env.now) -- wall-clock values poison golden digests and "
-                f"cache keys",
-            )
+        for name in ctx.resolver.resolve_call_candidates(node):
+            if name in _WALL_CLOCK_CALLS:
+                ctx.emit(
+                    self.id,
+                    node,
+                    f"wall-clock call {name}() in deterministic layer "
+                    f"{ctx.module}; simulated time must come from the engine "
+                    f"(env.now) -- wall-clock values poison golden digests "
+                    f"and cache keys",
+                )
+                return
 
 
 # --------------------------------------------------------------------------
@@ -195,45 +204,43 @@ class UnseededRandomRule(Rule):
     def check(self, node: ast.AST, ctx: LintContext) -> None:
         if not isinstance(node, ast.Call):
             return
-        name = ctx.resolver.resolve_call(node)
-        if name is None:
-            return
+        for name in ctx.resolver.resolve_call_candidates(node):
+            message = self._violation(name, node)
+            if message is not None:
+                ctx.emit(self.id, node, message)
+                return
+
+    @staticmethod
+    def _violation(name: str, node: ast.Call) -> Optional[str]:
         if name in _STDLIB_RANDOM_DRAWS:
-            ctx.emit(
-                self.id,
-                node,
+            return (
                 f"module-level {name}() draws from the hidden global RNG; "
                 f"thread an explicit seeded Generator from "
-                f"repro.simulation.rng instead",
+                f"repro.simulation.rng instead"
             )
-        elif name == "random.Random" and not node.args and not node.keywords:
-            ctx.emit(
-                self.id,
-                node,
+        if name == "random.Random" and not node.args and not node.keywords:
+            return (
                 "random.Random() without a seed is OS-entropy-seeded; pass "
-                "an explicit seed",
+                "an explicit seed"
             )
-        elif name and name.startswith("numpy.random."):
+        if name.startswith("numpy.random."):
             attr = name[len("numpy.random.") :]
             if "." in attr:  # e.g. numpy.random.Generator.integers -- method
-                return  # on an explicit generator object, fine
+                return None  # on an explicit generator object, fine
             if attr == "default_rng":
                 if not node.args and not node.keywords:
-                    ctx.emit(
-                        self.id,
-                        node,
+                    return (
                         "numpy.random.default_rng() without a seed is "
                         "OS-entropy-seeded; use repro.simulation.rng.make_rng"
-                        "(seed) or pass a SeedSequence",
+                        "(seed) or pass a SeedSequence"
                     )
             elif attr not in _NUMPY_RANDOM_ALLOWED:
-                ctx.emit(
-                    self.id,
-                    node,
+                return (
                     f"{name}() draws from numpy's hidden global RandomState; "
                     f"thread an explicit Generator "
-                    f"(repro.simulation.rng.make_rng/spawn_rngs)",
+                    f"(repro.simulation.rng.make_rng/spawn_rngs)"
                 )
+        return None
 
 
 # --------------------------------------------------------------------------
@@ -521,14 +528,14 @@ class InterposeReentryRule(Rule):
     def check(self, node: ast.AST, ctx: LintContext) -> None:
         if not isinstance(node, ast.Call):
             return
-        name = ctx.resolver.resolve_call(node)
-        if name is None:
-            return
         flagged = None
-        if name in ("open", "io.open", "builtins.open"):
-            flagged = name
-        elif name.startswith("os.") and name[3:] in PATCHED_OS_NAMES:
-            flagged = name
+        for name in ctx.resolver.resolve_call_candidates(node):
+            if name in ("open", "io.open", "builtins.open"):
+                flagged = name
+            elif name.startswith("os.") and name[3:] in PATCHED_OS_NAMES:
+                flagged = name
+            if flagged is not None:
+                break
         if flagged is not None:
             ctx.emit(
                 self.id,

@@ -175,7 +175,10 @@ def _state_sequence(config: AbciTraceConfig, rng: np.random.Generator) -> np.nda
     """
     states = config.states
     weights = np.array([s.time_share / s.mean_dwell for s in states])
-    weights = weights / weights.sum()
+    # Normaliser over the (small, config-fixed) state vector: the
+    # pairwise order is pinned by the config shape, and the calibration
+    # tests pin the resulting distribution.
+    weights = weights / weights.sum()  # padll: allow(FLT001)
     n = config.n_samples
     means = np.empty(n)
     filled = 0

@@ -1,0 +1,106 @@
+"""Incremental cache + parallel-parse behaviour of the engine."""
+
+from pathlib import Path
+
+from repro.lint import LintConfig, lint_paths, render_json, render_sarif
+
+CLEAN = "def well_behaved(x):\n    return x + 1\n"
+DIRTY = (
+    "import time\n"
+    "\n"
+    "\n"
+    "def tick():\n"
+    "    return time.time()\n"
+)
+PRAGMAED = (
+    "import time\n"
+    "\n"
+    "\n"
+    "def tick():\n"
+    "    return time.time()  # padll: allow(DET001)\n"
+)
+
+
+def _write_tree(tmp_path: Path, files: dict) -> LintConfig:
+    for relative, source in files.items():
+        target = tmp_path / relative
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source, encoding="utf-8")
+    return LintConfig(root=str(tmp_path))
+
+
+def _tree(tmp_path: Path) -> LintConfig:
+    return _write_tree(
+        tmp_path,
+        {
+            "src/repro/simulation/clean.py": CLEAN,
+            "src/repro/simulation/dirty.py": DIRTY,
+            "src/repro/simulation/pragmaed.py": PRAGMAED,
+        },
+    )
+
+
+def test_warm_run_is_bitwise_identical_and_skips_parsing(tmp_path):
+    config = _tree(tmp_path)
+    cache_dir = tmp_path / ".padll-lint-cache"
+    cold = lint_paths([tmp_path / "src"], config, cache_dir=cache_dir)
+    warm = lint_paths([tmp_path / "src"], config, cache_dir=cache_dir)
+    assert cold.cache_hits == 0
+    assert warm.cache_hits == warm.files_scanned == 3
+    # The acceptance contract: warm output is byte-identical to cold.
+    assert render_json(warm) == render_json(cold)
+    assert render_sarif(warm) == render_sarif(cold)
+    assert [f.rule for f in warm.active] == ["DET001"]
+    assert [f.rule for f in warm.suppressed] == ["DET001"]
+
+
+def test_edited_file_misses_cache_and_updates_findings(tmp_path):
+    config = _tree(tmp_path)
+    cache_dir = tmp_path / ".padll-lint-cache"
+    lint_paths([tmp_path / "src"], config, cache_dir=cache_dir)
+    (tmp_path / "src/repro/simulation/clean.py").write_text(
+        DIRTY, encoding="utf-8"
+    )
+    rerun = lint_paths([tmp_path / "src"], config, cache_dir=cache_dir)
+    assert rerun.cache_hits == 2  # only the edited file re-scans
+    assert sorted(f.path for f in rerun.active) == [
+        "src/repro/simulation/clean.py",
+        "src/repro/simulation/dirty.py",
+    ]
+
+
+def test_config_change_invalidates_every_entry(tmp_path):
+    config = _tree(tmp_path)
+    cache_dir = tmp_path / ".padll-lint-cache"
+    lint_paths([tmp_path / "src"], config, cache_dir=cache_dir)
+    reconfigured = LintConfig(root=str(tmp_path), disable=("DET001",))
+    rerun = lint_paths(
+        [tmp_path / "src"], reconfigured, cache_dir=cache_dir
+    )
+    assert rerun.cache_hits == 0
+    assert rerun.active == []
+
+
+def test_parse_error_round_trips_through_cache(tmp_path):
+    config = _write_tree(
+        tmp_path, {"src/repro/simulation/broken.py": "def oops(:\n"}
+    )
+    cache_dir = tmp_path / ".padll-lint-cache"
+    cold = lint_paths([tmp_path / "src"], config, cache_dir=cache_dir)
+    warm = lint_paths([tmp_path / "src"], config, cache_dir=cache_dir)
+    assert warm.cache_hits == 1
+    assert warm.parse_errors == cold.parse_errors
+    assert len(warm.parse_errors) == 1
+
+
+def test_parallel_jobs_match_serial(tmp_path):
+    config = _tree(tmp_path)
+    serial = lint_paths([tmp_path / "src"], config)
+    parallel = lint_paths([tmp_path / "src"], config, jobs=2)
+    assert render_json(parallel) == render_json(serial)
+
+
+def test_no_cache_dir_writes_nothing(tmp_path):
+    config = _tree(tmp_path)
+    lint_paths([tmp_path / "src"], config)
+    assert not (tmp_path / ".padll-lint-cache").exists()

@@ -1,0 +1,449 @@
+"""Seeded-violation tests for the cross-module WIRE/SHM/VEC/FLT rules.
+
+Each test builds a minimal project tree under tmp_path mirroring the
+real layout (``src/repro/...``), seeds exactly one violation, and
+asserts exactly one finding with the right rule id -- the acceptance
+contract for the whole-program pass.
+"""
+
+from pathlib import Path
+
+from repro.lint import LintConfig, lint_paths
+
+RPC_STUB = """\
+class RpcMessage:
+    pass
+
+
+class Ping(RpcMessage):
+    pass
+
+
+class Reconfigure(RpcMessage):
+    pass
+
+
+class StageEndpoint:
+    def handle(self, msg):
+        if isinstance(msg, Ping):
+            return "pong"
+        return None
+"""
+
+
+def _lint_tree(tmp_path: Path, files: dict) -> list:
+    for relative, source in files.items():
+        target = tmp_path / relative
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source, encoding="utf-8")
+    config = LintConfig(root=str(tmp_path))
+    result = lint_paths([tmp_path / "src"], config)
+    assert not result.parse_errors
+    return result.active
+
+
+class TestWire001:
+    def test_unregistered_verb_fires_once(self, tmp_path):
+        active = _lint_tree(
+            tmp_path,
+            {
+                "src/repro/core/rpc.py": RPC_STUB,
+                "src/repro/core/session.py": (
+                    "from repro.core.rpc import Ping, Reconfigure\n"
+                    "\n"
+                    "\n"
+                    "def send():\n"
+                    "    return Reconfigure(), Ping()\n"
+                ),
+            },
+        )
+        assert [f.rule for f in active] == ["WIRE001"]
+        assert active[0].path.endswith("session.py")
+        assert "Reconfigure" in active[0].message
+
+    def test_base_class_dispatch_handles_all_verbs(self, tmp_path):
+        active = _lint_tree(
+            tmp_path,
+            {
+                "src/repro/core/rpc.py": (
+                    "class RpcMessage:\n"
+                    "    pass\n"
+                    "\n"
+                    "\n"
+                    "class Reconfigure(RpcMessage):\n"
+                    "    pass\n"
+                    "\n"
+                    "\n"
+                    "class Endpoint:\n"
+                    "    def handle(self, msg):\n"
+                    "        if isinstance(msg, RpcMessage):\n"
+                    "            return msg\n"
+                    "        return None\n"
+                ),
+                "src/repro/core/session.py": (
+                    "from repro.core.rpc import Reconfigure\n"
+                    "\n"
+                    "\n"
+                    "def send():\n"
+                    "    return Reconfigure()\n"
+                ),
+            },
+        )
+        assert active == []
+
+    def test_module_const_tuple_expands_in_dispatch(self, tmp_path):
+        active = _lint_tree(
+            tmp_path,
+            {
+                "src/repro/core/rpc.py": (
+                    "class RpcMessage:\n"
+                    "    pass\n"
+                    "\n"
+                    "\n"
+                    "class Ping(RpcMessage):\n"
+                    "    pass\n"
+                    "\n"
+                    "\n"
+                    "class Reconfigure(RpcMessage):\n"
+                    "    pass\n"
+                    "\n"
+                    "\n"
+                    "_VERBS = (Ping, Reconfigure)\n"
+                    "\n"
+                    "\n"
+                    "class Endpoint:\n"
+                    "    def handle(self, msg):\n"
+                    "        if isinstance(msg, _VERBS):\n"
+                    "            return msg\n"
+                    "        return None\n"
+                ),
+                "src/repro/core/session.py": (
+                    "from repro.core.rpc import Ping, Reconfigure\n"
+                    "\n"
+                    "\n"
+                    "def send():\n"
+                    "    return Reconfigure(), Ping()\n"
+                ),
+            },
+        )
+        assert active == []
+
+
+class TestWire002:
+    FILES = {
+        "src/repro/core/hierarchy.py": (
+            "from typing import NamedTuple, Optional, Tuple\n"
+            "\n"
+            "\n"
+            "class JobAggregate(NamedTuple):\n"
+            "    job_id: str\n"
+            "    demand: float\n"
+            "    floor: float\n"
+            "\n"
+            "\n"
+            "class AggregateStats:\n"
+            "    jobs: Tuple[JobAggregate, ...]\n"
+            "\n"
+            "\n"
+            "class EnforceJobRateBatch:\n"
+            "    entries: Tuple[Tuple[str, float, Optional[float]], ...]\n"
+        ),
+    }
+
+    def test_wrong_arity_unpack_fires_once(self, tmp_path):
+        active = _lint_tree(
+            tmp_path,
+            {
+                **self.FILES,
+                "src/repro/core/consumer.py": (
+                    "def demands(stats):\n"
+                    "    return [demand for job_id, demand in stats.jobs]\n"
+                ),
+            },
+        )
+        assert [f.rule for f in active] == ["WIRE002"]
+        assert "3-field" in active[0].message
+
+    def test_matching_arity_is_clean(self, tmp_path):
+        active = _lint_tree(
+            tmp_path,
+            {
+                **self.FILES,
+                "src/repro/core/consumer.py": (
+                    "def demands(stats, batch):\n"
+                    "    out = [d for _j, d, _f in stats.jobs]\n"
+                    "    for job_id, rate, floor in batch.entries:\n"
+                    "        out.append(rate)\n"
+                    "    return out\n"
+                ),
+            },
+        )
+        assert active == []
+
+
+LAYOUT_STUB = """\
+import numpy as np
+
+LAYOUT_VERSION = 3
+
+
+def attach_segment(name):
+    raise NotImplementedError
+
+
+class ShardBuffers:
+    def __init__(self, shm):
+        self.scatter = np.ndarray((2, 4), dtype=np.float64, buffer=shm.buf)
+        self.gather = np.ndarray((2, 4), dtype=np.float64, buffer=shm.buf)
+"""
+
+
+class TestWire003:
+    def test_outside_write_fires_once(self, tmp_path):
+        active = _lint_tree(
+            tmp_path,
+            {
+                "src/repro/simulation/sharded/shm.py": LAYOUT_STUB,
+                "src/repro/experiments/poke.py": (
+                    "def poke(buffers, parity):\n"
+                    "    buffers.scatter[parity] = 1.0\n"
+                ),
+            },
+        )
+        assert [f.rule for f in active] == ["WIRE003"]
+        assert active[0].path.endswith("poke.py")
+
+    def test_parity_write_inside_package_is_clean(self, tmp_path):
+        active = _lint_tree(
+            tmp_path,
+            {
+                "src/repro/simulation/sharded/shm.py": LAYOUT_STUB,
+                "src/repro/simulation/sharded/pool.py": (
+                    "def publish(buffers, parity, values):\n"
+                    "    buffers.scatter[parity] = values\n"
+                ),
+            },
+        )
+        assert active == []
+
+
+class TestShm001:
+    def test_raw_index_fires_once(self, tmp_path):
+        active = _lint_tree(
+            tmp_path,
+            {
+                "src/repro/simulation/sharded/shm.py": LAYOUT_STUB,
+                "src/repro/simulation/sharded/pool.py": (
+                    "def peek(buffers):\n"
+                    "    return buffers.scatter[0]\n"
+                ),
+            },
+        )
+        assert [f.rule for f in active] == ["SHM001"]
+        assert "parity" in active[0].message
+
+    def test_parity_read_is_clean(self, tmp_path):
+        active = _lint_tree(
+            tmp_path,
+            {
+                "src/repro/simulation/sharded/shm.py": LAYOUT_STUB,
+                "src/repro/simulation/sharded/pool.py": (
+                    "def peek(buffers, parity):\n"
+                    "    return buffers.gather[parity].copy()\n"
+                ),
+            },
+        )
+        assert active == []
+
+
+class TestShm002:
+    def test_raw_ctor_outside_layout_module_fires_once(self, tmp_path):
+        active = _lint_tree(
+            tmp_path,
+            {
+                "src/repro/runner/raw.py": (
+                    "from multiprocessing import shared_memory\n"
+                    "\n"
+                    "\n"
+                    "def grab(name):\n"
+                    "    return shared_memory.SharedMemory(name=name)\n"
+                ),
+            },
+        )
+        assert [f.rule for f in active] == ["SHM002"]
+
+    def test_attacher_unlink_fires_once(self, tmp_path):
+        active = _lint_tree(
+            tmp_path,
+            {
+                "src/repro/simulation/sharded/shm.py": LAYOUT_STUB,
+                "src/repro/simulation/sharded/worker.py": (
+                    "from repro.simulation.sharded.shm import attach_segment\n"
+                    "\n"
+                    "\n"
+                    "def cleanup(name):\n"
+                    "    segment = attach_segment(name)\n"
+                    "    segment.unlink()\n"
+                ),
+            },
+        )
+        assert [f.rule for f in active] == ["SHM002"]
+        assert "attach" in active[0].message
+
+    def test_ctor_inside_layout_module_is_clean(self, tmp_path):
+        active = _lint_tree(
+            tmp_path,
+            {
+                "src/repro/simulation/sharded/shm.py": (
+                    "from multiprocessing import shared_memory\n"
+                    "\n"
+                    "LAYOUT_VERSION = 3\n"
+                    "\n"
+                    "\n"
+                    "def create_segment(size):\n"
+                    "    return shared_memory.SharedMemory(create=True, size=size)\n"
+                ),
+            },
+        )
+        assert active == []
+
+
+ALGO_BASE = """\
+class AllocationAlgorithm:
+    pass
+"""
+
+
+class TestVec001:
+    def test_allocate_only_subclass_fires_once(self, tmp_path):
+        active = _lint_tree(
+            tmp_path,
+            {
+                "src/repro/core/algorithms.py": (
+                    ALGO_BASE
+                    + "\n"
+                    "\n"
+                    "class OnlyScalar(AllocationAlgorithm):\n"
+                    "    def allocate(self, wants):\n"
+                    "        return dict(wants)\n"
+                ),
+            },
+        )
+        assert [f.rule for f in active] == ["VEC001"]
+        assert "OnlyScalar" in active[0].message
+
+    def test_arrays_twin_and_scalar_only_are_clean(self, tmp_path):
+        active = _lint_tree(
+            tmp_path,
+            {
+                "src/repro/core/algorithms.py": (
+                    ALGO_BASE
+                    + "\n"
+                    "\n"
+                    "class Both(AllocationAlgorithm):\n"
+                    "    def allocate(self, wants):\n"
+                    "        return dict(wants)\n"
+                    "\n"
+                    "    def allocate_arrays(self, wants):\n"
+                    "        return wants\n"
+                    "\n"
+                    "\n"
+                    "class Registered(AllocationAlgorithm):\n"
+                    "    scalar_only = True\n"
+                    "\n"
+                    "    def allocate(self, wants):\n"
+                    "        return dict(wants)\n"
+                ),
+            },
+        )
+        assert active == []
+
+    def test_cross_module_subclass_is_seen(self, tmp_path):
+        active = _lint_tree(
+            tmp_path,
+            {
+                "src/repro/core/algorithms.py": ALGO_BASE,
+                "src/repro/core/extra.py": (
+                    "from repro.core.algorithms import AllocationAlgorithm\n"
+                    "\n"
+                    "\n"
+                    "class Elsewhere(AllocationAlgorithm):\n"
+                    "    def allocate(self, wants):\n"
+                    "        return dict(wants)\n"
+                ),
+            },
+        )
+        assert [f.rule for f in active] == ["VEC001"]
+        assert active[0].path.endswith("extra.py")
+
+
+DIGEST_STUB = (
+    "import hashlib\n"
+    "\n"
+    "import numpy as np\n"
+    "\n"
+    "\n"
+    "def digest(arr):\n"
+    "    payload = repr(total(arr)).encode()\n"
+    "    return hashlib.sha256(payload).hexdigest()\n"
+    "\n"
+    "\n"
+    "def total(arr):\n"
+    "    return float(np.sum(arr))\n"
+)
+
+
+class TestFlt001:
+    def test_bare_sum_on_digest_path_fires_once(self, tmp_path):
+        active = _lint_tree(
+            tmp_path,
+            {"src/repro/simulation/digests.py": DIGEST_STUB},
+        )
+        assert [f.rule for f in active] == ["FLT001"]
+        assert "np.sum" in active[0].source
+
+    def test_axis_reduction_is_exempt(self, tmp_path):
+        active = _lint_tree(
+            tmp_path,
+            {
+                "src/repro/simulation/digests.py": DIGEST_STUB.replace(
+                    "np.sum(arr)", "np.sum(arr, axis=0)[0]"
+                ),
+            },
+        )
+        assert active == []
+
+    def test_non_deterministic_layer_is_exempt(self, tmp_path):
+        active = _lint_tree(
+            tmp_path,
+            {"src/repro/analysis/digests.py": DIGEST_STUB},
+        )
+        assert active == []
+
+    def test_pragma_suppresses_project_finding(self, tmp_path):
+        source = DIGEST_STUB.replace(
+            "return float(np.sum(arr))",
+            "return float(np.sum(arr))  # padll: allow(FLT001)",
+        )
+        for relative in ("src/repro/simulation/digests.py",):
+            target = tmp_path / relative
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(source, encoding="utf-8")
+        config = LintConfig(root=str(tmp_path))
+        result = lint_paths([tmp_path / "src"], config)
+        assert result.active == []
+        assert [f.rule for f in result.suppressed] == ["FLT001"]
+
+
+class TestDisable:
+    def test_project_rule_can_be_disabled(self, tmp_path):
+        for relative, source in {
+            "src/repro/simulation/digests.py": DIGEST_STUB
+        }.items():
+            target = tmp_path / relative
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(source, encoding="utf-8")
+        config = LintConfig(root=str(tmp_path), disable=("FLT001",))
+        result = lint_paths([tmp_path / "src"], config)
+        assert result.active == []
+        assert result.findings == []

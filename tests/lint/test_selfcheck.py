@@ -46,6 +46,35 @@ class TestSelfCheck:
         assert [f.rule for f in result.active] == ["DET001"]
         assert result.active[0].line > len(engine_src.splitlines()) - 1
 
+    def test_seeded_cross_module_violation_is_caught(self, tmp_path):
+        # Project-pass rehearsal on the real tree: copy src/, append an
+        # RPC verb that is constructed but handled nowhere, and assert
+        # exactly the WIRE001 finding appears (the CI lint job runs the
+        # same injection through the CLI).
+        import shutil
+
+        shutil.copytree(REPO_ROOT / "src", tmp_path / "src")
+        session = tmp_path / "src" / "repro" / "core" / "session.py"
+        session.write_text(
+            session.read_text(encoding="utf-8")
+            + (
+                "\n\nfrom repro.core.rpc import RpcMessage\n"
+                "\n\nclass _RehearsalVerb(RpcMessage):\n"
+                '    """Constructed below, handled nowhere."""\n'
+                "\n\ndef _rehearsal_send():\n"
+                "    return _RehearsalVerb()\n"
+            ),
+            encoding="utf-8",
+        )
+        config = load_config(REPO_ROOT / "pyproject.toml")
+        from dataclasses import replace
+
+        result = lint_paths(
+            [tmp_path / "src"], replace(config, root=str(tmp_path))
+        )
+        assert [f.rule for f in result.active] == ["WIRE001"]
+        assert result.active[0].path.endswith("session.py")
+
     def test_patched_os_table_covers_monkeypatch_surface(self):
         # INT001's entry-point list must cover everything the Interposer
         # actually patches, or a re-entrancy bug could slip past the lint.
