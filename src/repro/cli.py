@@ -12,6 +12,7 @@ Subcommands::
     padll-repro sharded [--shards N] [--fabric shm|pipe] [--digest-only]
     padll-repro perfbench [--smoke] [--out DIR] [--compare [BENCH.json]]
     padll-repro lint [paths ...] [--format json] [--baseline] [--write-baseline]
+    padll-repro serve [--port 9178] [--duration N] [--policy CONFIG.json]
 
 Each experiment subcommand regenerates the corresponding paper artefact
 and prints it as text (the same rendering the benchmarks use).
@@ -341,6 +342,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose",
         action="store_true",
         help="also list pragma-suppressed and baselined findings (text format)",
+    )
+
+    # -- operator service ----------------------------------------------------------------
+    serve = sub.add_parser(
+        "serve",
+        help="run the live operator service (control loop + HTTP endpoints)",
+    )
+    serve.add_argument("--config", help="service config JSON file")
+    serve.add_argument("--host", help="listen address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, help="listen port (0 = ephemeral)")
+    serve.add_argument("--interval", type=float, help="control-loop period, seconds")
+    serve.add_argument("--seed", type=int, help="world seed (workload + fabric + tracer)")
+    serve.add_argument(
+        "--sample-rate", type=float, help="span head-sampling rate in [0, 1]"
+    )
+    serve.add_argument(
+        "--capacity", type=float, help="algorithm channel capacity (ops/s)"
+    )
+    serve.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="exit cleanly after this many seconds (default: run until signalled)",
+    )
+    serve.add_argument("--policy", help="PADLL policy config JSON to install")
+    serve.add_argument("--jobs", type=int, help="synthetic workload: number of jobs")
+    serve.add_argument(
+        "--stages-per-job", type=int, help="synthetic workload: stages per job"
+    )
+    serve.add_argument(
+        "--workload-rate",
+        type=float,
+        help="offered ops/s per stage (0 disables the workload)",
+    )
+    serve.add_argument(
+        "--loss", type=float, help="control-fabric per-message loss probability"
+    )
+    serve.add_argument(
+        "--latency", type=float, help="control-RPC latency injected per delivery, seconds"
     )
 
     # -- policy configs ----------------------------------------------------------------
@@ -855,6 +895,113 @@ def _cmd_policy_check(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import dataclasses
+    import signal
+    import threading
+    import time as _time
+
+    from repro.core.config import load_config
+    from repro.service import (
+        OperatorServer,
+        ServiceConfig,
+        ServiceRuntime,
+        load_service_config,
+        with_overrides,
+    )
+
+    config = (
+        load_service_config(args.config) if args.config else ServiceConfig()
+    )
+    config = with_overrides(
+        config,
+        host=args.host,
+        port=args.port,
+        interval=args.interval,
+        seed=args.seed,
+        sample_rate=args.sample_rate,
+        capacity=args.capacity,
+    )
+    workload_changes = {
+        key: value
+        for key, value in (
+            ("jobs", args.jobs),
+            ("stages_per_job", args.stages_per_job),
+            ("rate", args.workload_rate),
+        )
+        if value is not None
+    }
+    if workload_changes:
+        config = dataclasses.replace(
+            config, workload=dataclasses.replace(config.workload, **workload_changes)
+        )
+    fault_changes = {
+        key: value
+        for key, value in (("loss", args.loss), ("latency", args.latency))
+        if value is not None
+    }
+    if fault_changes:
+        config = dataclasses.replace(
+            config, faults=dataclasses.replace(config.faults, **fault_changes)
+        )
+    if args.policy:
+        config = dataclasses.replace(config, padll=load_config(args.policy))
+
+    runtime = ServiceRuntime(config)
+    server = OperatorServer(runtime, config.host, config.port)
+
+    def on_signal(signum, frame) -> None:
+        runtime.admin(
+            "service.shutdown", {"reason": f"signal {signal.Signals(signum).name}"}
+        )
+
+    signal.signal(signal.SIGINT, on_signal)
+    signal.signal(signal.SIGTERM, on_signal)
+
+    runtime.start()
+    server.start()
+    print(f"padll-repro serve: listening on {server.url}", flush=True)
+    print(
+        "endpoints: /metrics /healthz /readyz /api/v1/snapshot "
+        "/api/v1/spans /api/v1/events /api/v1/audit /api/v1/admin/<verb>",
+        flush=True,
+    )
+    deadline = None if not args.duration else _time.monotonic() + args.duration
+    while not runtime.shutdown_requested:
+        timeout = (
+            0.2 if deadline is None else min(0.2, deadline - _time.monotonic())
+        )
+        if deadline is not None and timeout <= 0:
+            break
+        runtime.wait_for_shutdown(timeout)
+
+    reason = runtime.shutdown_reason or "duration elapsed"
+    print(f"padll-repro serve: shutting down ({reason})", flush=True)
+    server.stop()
+    error = runtime.stop()
+    snapshot = runtime.snapshot()
+    loop_info = snapshot["loop"]
+    print(
+        f"loop: {loop_info['ticks']} ticks, {loop_info['tick_errors']} errors; "
+        f"fabric: {snapshot['fabric'].get('calls', 0)} calls, "
+        f"{snapshot['fabric'].get('dropped', 0)} dropped; "
+        f"audit: {len(runtime.audit)} actions"
+    )
+    workers = [
+        thread.name
+        for thread in threading.enumerate()
+        if thread is not threading.main_thread() and thread.is_alive()
+    ]
+    print(f"clean shutdown: {len(workers)} worker thread(s) remaining", flush=True)
+    if workers:
+        print(f"  still alive: {workers}", flush=True)
+        return 1
+    if error is not None:
+        print(f"control loop ended with error: {error!r}", flush=True)
+        return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -876,6 +1023,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_sharded(args)
         if args.command == "lint":
             return _cmd_lint(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "policy":
             return _cmd_policy_check(args)
         return _cmd_ablation(args)

@@ -275,6 +275,22 @@ class ControlPlane:
             raise PolicyError(f"no policy named {name!r}")
         del self._policies[name]
 
+    def replace_policy(self, rule: PolicyRule) -> None:
+        """Install ``rule``, superseding any same-named policy.
+
+        The operator service's ``set policy`` admin verb routes through
+        here: "the newest instruction applies" without the caller having
+        to know whether the name was already installed.
+        """
+        self._policies[rule.name] = rule
+
+    def set_policy_enabled(self, name: str, enabled: bool) -> None:
+        """Flip one installed policy without losing its schedule."""
+        rule = self._policies.get(name)
+        if rule is None:
+            raise PolicyError(f"no policy named {name!r}")
+        rule.enabled = bool(enabled)
+
     @property
     def policies(self) -> Dict[str, PolicyRule]:
         return dict(self._policies)

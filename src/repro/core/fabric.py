@@ -92,8 +92,16 @@ class FaultyFabric:
         sync_messages: Tuple[type, ...] = (),
         rewrite_now: bool = True,
         async_reply: bool = True,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         self.env = env
+        #: Engine-less notion of time.  The live interposition layer has
+        #: no simulation engine; it passes its own (wall) clock so
+        #: scripted partition windows and telemetry drop events still
+        #: have a timeline.  The fabric itself never reads a clock --
+        #: ``env.now`` wins when an engine is attached, and with neither
+        #: an engine nor a clock every timestamp is 0.0 (legacy).
+        self._clock = clock
         self.link = link if link is not None else LinkProfile()
         self._links: Dict[str, LinkProfile] = dict(links or {})
         self._drop_fn = drop_fn
@@ -138,15 +146,24 @@ class FaultyFabric:
     def link_for(self, address: str) -> LinkProfile:
         return self._links.get(address, self.link)
 
+    def _now(self) -> float:
+        if self.env is not None:
+            return self.env.now
+        if self._clock is not None:
+            return self._clock()
+        return 0.0
+
     def partition(
         self, start: float, end: float, addresses=None
     ) -> None:
         """Script a partition: ``addresses`` (or everyone when None) are
-        unreachable for ``start <= now < end`` simulated seconds."""
+        unreachable for ``start <= now < end`` seconds -- simulated with
+        an engine attached, the caller-provided clock's timeline without
+        one (the live layer scripts partitions in wall time)."""
         if end <= start:
             raise ConfigError(f"partition end {end} must be after start {start}")
-        if self.env is None:
-            raise ConfigError("partitions need an engine-attached fabric")
+        if self.env is None and self._clock is None:
+            raise ConfigError("partitions need an engine- or clock-attached fabric")
         addrs = None if addresses is None else frozenset(addresses)
         self._partitions.append((start, end, addrs))
         if self._telemetry is not None:
@@ -160,7 +177,7 @@ class FaultyFabric:
     def _partitioned_now(self, address: str) -> bool:
         if not self._partitions:
             return False
-        now = self.env.now
+        now = self._now()
         for start, end, addrs in self._partitions:
             if start <= now < end and (addrs is None or address in addrs):
                 return True
@@ -169,12 +186,14 @@ class FaultyFabric:
     # -- delivery helpers --------------------------------------------------
     def _emit_drop(self, address: str, message: Any, reason: str, leg: str) -> None:
         if self._telemetry is not None:
-            now = self.env.now if self.env is not None else 0.0
+            now = self._now()
+            # Field is named ``message`` (not ``kind``): EventLog.emit's
+            # first positional parameter already claims that keyword.
             self._telemetry.events.emit(
                 "rpc.drop",
                 now,
                 address=address,
-                kind=type(message).__name__,
+                message=type(message).__name__,
                 reason=reason,
                 leg=leg,
             )
@@ -183,7 +202,7 @@ class FaultyFabric:
         """Return a drop reason for this send leg, or None if it goes out."""
         if self._drop_fn is not None and self._drop_fn(address, message):
             return "drop_fn"
-        if self.env is not None and self._partitioned_now(address):
+        if self._partitioned_now(address):
             return "partition"
         link = self.link_for(address)
         if link.loss > 0.0 and self._rng.random() < link.loss:

@@ -97,3 +97,22 @@ class RingLog:
 
     def to_list(self) -> List[Any]:
         return list(self._entries)
+
+    def snapshot(self, limit: Optional[int] = None) -> List[Any]:
+        """A copy safe to take from a reader thread while a writer appends.
+
+        ``list(deque)`` is not atomic: a concurrent ``append`` raises
+        ``RuntimeError: deque mutated during iteration``.  The operator
+        server reads the control plane's audit trails while the live
+        loop keeps appending, so this retries the copy until one pass
+        completes cleanly (appends are fast; in practice one retry
+        suffices).  ``limit`` keeps only the newest entries.
+        """
+        while True:
+            try:
+                entries = list(self._entries)
+            except RuntimeError:
+                continue
+            if limit is not None and limit >= 0:
+                return entries[len(entries) - min(limit, len(entries)):]
+            return entries

@@ -132,15 +132,28 @@ class LiveStage:
         return self._orphan_since is not None
 
     def _note_enforcement(self) -> None:
+        readopted = False
         with self._lock:
-            self._last_enforced = self._clock()
+            now = self._clock()
+            self._last_enforced = now
             if self._orphan_since is not None:
                 self._orphan_since = None
                 self._orphan_rates = {}
+                readopted = True
+        if readopted and self._telemetry is not None:
+            # Re-adoption is the operator-visible end of an orphan episode;
+            # emitted outside the lock (the event log append is atomic).
+            self._telemetry.events.emit(
+                "stage.adopted",
+                now,
+                stage=self.identity.stage_id,
+                job=self.identity.job_id,
+            )
 
     def _orphan_check(self) -> None:
         """Enter/advance the orphaned state (called on the throttle path)."""
         policy = self._orphan_policy
+        entered = None
         with self._lock:
             last = self._last_enforced
             if last is None:
@@ -154,7 +167,10 @@ class LiveStage:
                     cid: ch.bucket.rate for cid, ch in self._channels.items()
                 }
                 self.orphan_transitions += 1
+                entered = now
             if policy.mode != "decay":
+                if entered is not None:
+                    self._emit_orphaned(entered, policy)
                 return
             factor = 2.0 ** (-(now - self._orphan_since) / policy.half_life)
             floor = policy.floor
@@ -166,6 +182,19 @@ class LiveStage:
             if target < floor:
                 target = floor
             channel.bucket.set_rate(target)
+        if entered is not None:
+            self._emit_orphaned(entered, policy)
+
+    def _emit_orphaned(self, now: float, policy: OrphanPolicy) -> None:
+        if self._telemetry is not None:
+            self._telemetry.events.emit(
+                "stage.orphaned",
+                now,
+                stage=self.identity.stage_id,
+                job=self.identity.job_id,
+                mode=policy.mode,
+                floor=policy.floor,
+            )
 
     def channel_rate(self, channel_id: str) -> float:
         return self._channel(channel_id).bucket.rate
@@ -184,8 +213,27 @@ class LiveStage:
             raise ConfigError(f"no channel {channel_id!r}") from None
 
     # -- data path ------------------------------------------------------------------
-    def throttle(self, request: Request) -> Decision:
-        """Classify ``request`` and block until its channel admits it."""
+    def _acquire(self, channel: _LiveChannel, count: float, stop) -> bool:
+        """Block in the bucket; with ``stop`` set, give up between naps.
+
+        The operator service's workload threads pass their shutdown
+        event so a clamped channel cannot pin a thread through teardown.
+        """
+        if stop is None:
+            channel.bucket.acquire(count)
+            return True
+        while not stop.is_set():
+            if channel.bucket.acquire(count, timeout=0.2):
+                return True
+        return False
+
+    def throttle(self, request: Request, stop=None) -> Optional[Decision]:
+        """Classify ``request`` and block until its channel admits it.
+
+        ``stop`` (a ``threading.Event``) makes the wait interruptible:
+        when it is set before the bucket grants, the request is
+        abandoned and ``None`` is returned instead of a decision.
+        """
         request.job_id = request.job_id or self.identity.job_id
         decision = self.classifier.classify(request)
         if decision.enforced:
@@ -202,7 +250,8 @@ class LiveStage:
                         ctx = tracer.sample()
                     if ctx is not None:
                         start = self._clock()
-                        channel.bucket.acquire(request.count)
+                        if not self._acquire(channel, request.count, stop):
+                            return None
                         end = self._clock()
                         channel.record(request.count)
                         with self._lock:
@@ -210,9 +259,12 @@ class LiveStage:
                                 ctx, "live.throttle", start, end,
                                 channel=decision.channel_id,
                                 count=request.count,
+                                stage=self.identity.stage_id,
+                                job=self.identity.job_id,
                             )
                         return decision
-            channel.bucket.acquire(request.count)
+            if not self._acquire(channel, request.count, stop):
+                return None
             channel.record(request.count)
         else:
             with self._lock:

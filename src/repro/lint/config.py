@@ -51,6 +51,12 @@ class LintConfig:
         "repro.workloads",
         "repro.runner",
         "repro.telemetry",
+        # The operator service is a wall-clock program (servers sleep,
+        # loops tick in real time) -- EXCEPT its snapshot builders, which
+        # must be pure functions of their inputs so /api/v1/snapshot is
+        # reproducible and testable without a running server.  Only that
+        # module joins the deterministic layer.
+        "repro.service.snapshot",
     )
     #: Module prefixes holding the LD_PRELOAD-analogue shim (INT001 scope).
     interpose_layers: Tuple[str, ...] = ("repro.interpose",)

@@ -25,6 +25,7 @@ from repro.perfbench.micro import (
     bench_classifier,
     bench_control,
     bench_engine,
+    bench_service_snapshot,
     bench_sharded_control,
     bench_stage,
     bench_telemetry,
@@ -221,6 +222,12 @@ def run_perfbench(
         "telemetry_off_stage_ops_per_sec": (
             "ops/s",
             lambda: bench_telemetry(n_ops=max(1000, int(200_000 * scale))),
+        ),
+        "service_snapshot_per_sec": (
+            "snapshots/s",
+            lambda: bench_service_snapshot(
+                n_snapshots=max(50, int(2_000 * scale))
+            ),
         ),
         "fig4_sim_seconds_per_sec": (
             "sim-s/s",

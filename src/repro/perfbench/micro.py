@@ -24,6 +24,7 @@ __all__ = [
     "bench_stage",
     "bench_classifier",
     "bench_control",
+    "bench_service_snapshot",
     "bench_sharded_control",
     "bench_telemetry",
 ]
@@ -332,6 +333,71 @@ def bench_sharded_control(
         "n_jobs": float(n_jobs),
         "n_racks": float(n_racks),
         "n_clients": float(config.n_clients),
+    }
+
+
+def bench_service_snapshot(n_snapshots: int = 2_000) -> Dict[str, float]:
+    """Operator read-path snapshots/sec over a populated control plane.
+
+    One unit of work is what a scraper costs the service: build the full
+    versioned ``/api/v1/snapshot`` document *and* render the ``/metrics``
+    Prometheus exposition.  The world underneath is a busy one -- a
+    controller with registered stages, a full enforcement ring, spans and
+    events in the telemetry spine -- so the figure reflects the copy/
+    format cost an operator pays per scrape, not an empty-registry
+    best case.
+    """
+    from repro.service import ServiceRuntime
+    from repro.telemetry import Telemetry, TelemetryConfig
+
+    telemetry = Telemetry(TelemetryConfig(seed=0, sample_rate=1.0, trace=True))
+    cp = ControlPlane(
+        algorithm=ProportionalSharing(capacity=100e3), telemetry=telemetry
+    )
+    n_jobs = 8
+    stages = []
+    for i in range(32):
+        stage = DataPlaneStage(
+            StageIdentity(f"s{i}", f"job{i % n_jobs}"),
+            sink=lambda request: None,
+            telemetry=telemetry,
+        )
+        stage.create_channel("metadata", rate=1e6)
+        stage.add_classifier_rule(
+            ClassifierRule(
+                name="md",
+                channel_id="metadata",
+                op_classes=frozenset({OperationClass.METADATA}),
+            )
+        )
+        cp.register(stage)
+        stages.append(stage)
+    for cycle in range(64):
+        now = float(cycle)
+        for i, stage in enumerate(stages):
+            stage.submit(
+                Request(
+                    op=OperationType.OPEN,
+                    path="/pfs/scratch/bench",
+                    count=10.0 * (1 + (i + cycle) % 3),
+                    job_id=stage.identity.job_id,
+                ),
+                now,
+            )
+            stage.drain(now)
+        cp.tick(now + 0.5)
+    runtime = ServiceRuntime(controller=cp, telemetry=telemetry)
+    start = time.perf_counter()
+    for _ in range(n_snapshots):
+        runtime.snapshot()
+        runtime.metrics_text()
+    elapsed = time.perf_counter() - start
+    return {
+        "value": n_snapshots / elapsed,
+        "work": float(n_snapshots),
+        "elapsed_s": elapsed,
+        "n_stages": float(len(stages)),
+        "enforcement_entries": float(len(cp.enforcement_log.to_list())),
     }
 
 

@@ -1,0 +1,109 @@
+"""Audit trail for operator admin actions.
+
+Every admin verb the service applies -- whether it succeeded or was
+rejected -- lands here twice over: an :class:`AuditRecord` appended to a
+bounded :class:`~repro.core.ringlog.RingLog`, and a ``control.admin``
+event emitted into the world's telemetry spine so the action is
+observable through the same ``/api/v1/events`` endpoint as everything
+else the control plane does.
+
+The log is written from the loop thread (queued controller mutations)
+*and* from server threads (synchronous verbs like sampling/shutdown), so
+``append`` serialises under a lock -- this is a cold path; a lock is the
+honest tool, unlike the loop's lock-free hot state.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from repro.core.ringlog import RingLog
+
+__all__ = ["AuditLog", "AuditRecord"]
+
+
+@dataclass(frozen=True, slots=True)
+class AuditRecord:
+    """One admin action, as applied (or refused)."""
+
+    seq: int
+    time: float
+    action: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    ok: bool = True
+    error: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "time": self.time,
+            "action": self.action,
+            "params": dict(self.params),
+            "ok": self.ok,
+            "error": self.error,
+        }
+
+
+class AuditLog:
+    """Bounded, thread-safe admin audit trail with telemetry mirroring."""
+
+    def __init__(
+        self,
+        capacity: Optional[int] = 4096,
+        clock: Callable[[], float] = None,
+        events=None,
+    ) -> None:
+        self._log = RingLog(capacity)
+        self._clock = clock if clock is not None else (lambda: 0.0)
+        self._events = events
+        self._lock = threading.Lock()
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._log)
+
+    def next_seq(self) -> int:
+        """Reserve a sequence number (lets callers correlate queued verbs)."""
+        with self._lock:
+            self._seq += 1
+            return self._seq
+
+    def append(
+        self,
+        action: str,
+        params: Mapping[str, Any],
+        ok: bool = True,
+        error: Optional[str] = None,
+        seq: Optional[int] = None,
+    ) -> AuditRecord:
+        """Record one action; mirrors it as a ``control.admin`` event."""
+        with self._lock:
+            if seq is None:
+                self._seq += 1
+                seq = self._seq
+            record = AuditRecord(
+                seq=seq,
+                time=self._clock(),
+                action=action,
+                params=dict(params),
+                ok=ok,
+                error=error,
+            )
+            self._log.append(record)
+        if self._events is not None:
+            self._events.emit(
+                "control.admin",
+                record.time,
+                seq=record.seq,
+                action=action,
+                params=dict(params),
+                ok=ok,
+                error=error,
+            )
+        return record
+
+    def snapshot(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Newest ``limit`` records as JSON-safe dicts (reader-thread safe)."""
+        return [record.to_dict() for record in self._log.snapshot(limit)]

@@ -1,0 +1,233 @@
+"""Configuration for the operator service (``padll-repro serve``).
+
+One JSON document describes the whole long-running world: the HTTP
+listener, the control loop cadence, the telemetry knobs, the synthetic
+workload that keeps the loop fed in smoke environments, the fault
+profile of the control fabric, and -- optionally -- an embedded PADLL
+policy document (the same schema :mod:`repro.core.config` parses).
+
+Example::
+
+    {
+      "host": "127.0.0.1", "port": 9178,
+      "interval": 0.25, "seed": 7,
+      "sample_rate": 0.1, "trace": true,
+      "capacity": 400.0,
+      "workload": {"jobs": 2, "stages_per_job": 2, "rate": 150.0},
+      "faults": {"loss": 0.05, "latency": 0.0},
+      "orphan": {"mode": "decay", "after": 3, "floor": 2.0, "half_life": 5.0},
+      "padll": { ... repro.core.config document ... }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Mapping, Optional, Tuple, Union
+
+from repro.errors import ConfigError
+from repro.core.config import PadllConfig, parse_config
+from repro.core.stage import OrphanPolicy
+
+__all__ = [
+    "FaultSpec",
+    "ServiceConfig",
+    "WorkloadSpec",
+    "load_service_config",
+    "parse_service_config",
+    "with_overrides",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadSpec:
+    """The synthetic metadata workload the service drives through itself.
+
+    ``rate`` is the *offered* per-stage rate in ops/s (the enforced rate
+    is whatever the control loop decides); ``rate=0`` disables the
+    driver threads entirely (server-only mode, e.g. when embedding the
+    runtime around an externally driven world).
+    """
+
+    jobs: int = 2
+    stages_per_job: int = 2
+    rate: float = 150.0
+    ops: Tuple[str, ...] = ("open", "stat", "mkdir", "getxattr")
+    path_prefix: str = "/pfs/scratch"
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ConfigError(f"workload needs >= 1 job, got {self.jobs}")
+        if self.stages_per_job < 1:
+            raise ConfigError(
+                f"workload needs >= 1 stage per job, got {self.stages_per_job}"
+            )
+        if self.rate < 0:
+            raise ConfigError(f"workload rate must be >= 0, got {self.rate}")
+        if not self.ops:
+            raise ConfigError("workload needs at least one op type")
+
+    @property
+    def n_stages(self) -> int:
+        return self.jobs * self.stages_per_job
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSpec:
+    """Control-fabric fault profile for the live loop.
+
+    ``loss`` drops collect/enforce RPCs (seeded, deterministic draw
+    order); ``latency``/``jitter`` stall the endpoint handler on the
+    loop thread -- controller lag, the paper's section VI concern.
+    Partitions are scripted at runtime through the fabric itself.
+    """
+
+    loss: float = 0.0
+    latency: float = 0.0
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss <= 1.0:
+            raise ConfigError(f"fault loss must be in [0, 1], got {self.loss}")
+        if self.latency < 0:
+            raise ConfigError(f"fault latency must be >= 0, got {self.latency}")
+        if self.jitter < 0:
+            raise ConfigError(f"fault jitter must be >= 0, got {self.jitter}")
+
+    @property
+    def active(self) -> bool:
+        return self.loss > 0 or self.latency > 0 or self.jitter > 0
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceConfig:
+    """Everything ``padll-repro serve`` needs to stand up a live world."""
+
+    host: str = "127.0.0.1"
+    #: Port 0 binds an ephemeral port (tests); the bound port is
+    #: discoverable on the server object after start.
+    port: int = 9178
+    #: Control-loop period, seconds.
+    interval: float = 0.25
+    seed: int = 0
+    sample_rate: float = 0.05
+    trace: bool = True
+    #: Algorithm channel capacity when no embedded PADLL document names
+    #: an algorithm (default world: proportional sharing over "metadata").
+    capacity: float = 400.0
+    channel: str = "metadata"
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    faults: FaultSpec = field(default_factory=FaultSpec)
+    orphan: Optional[OrphanPolicy] = None
+    padll: Optional[PadllConfig] = None
+    #: Audit RingLog capacity.
+    audit_capacity: int = 4096
+    #: /healthz turns unhealthy when the last tick is older than this
+    #: (None derives ``max(5 * interval, 2.0)``).
+    stale_after: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.host:
+            raise ConfigError("service needs a host")
+        if not 0 <= self.port <= 65535:
+            raise ConfigError(f"port must be in [0, 65535], got {self.port}")
+        if self.interval <= 0:
+            raise ConfigError(f"interval must be positive, got {self.interval}")
+        if not 0.0 <= self.sample_rate <= 1.0:
+            raise ConfigError(
+                f"sample_rate must be in [0, 1], got {self.sample_rate}"
+            )
+        if self.capacity <= 0:
+            raise ConfigError(f"capacity must be positive, got {self.capacity}")
+        if not self.channel:
+            raise ConfigError("service needs an algorithm channel name")
+        if self.audit_capacity < 1:
+            raise ConfigError(
+                f"audit_capacity must be >= 1, got {self.audit_capacity}"
+            )
+        if self.stale_after is not None and self.stale_after <= 0:
+            raise ConfigError(
+                f"stale_after must be positive, got {self.stale_after}"
+            )
+
+    @property
+    def staleness_threshold(self) -> float:
+        if self.stale_after is not None:
+            return self.stale_after
+        return max(5.0 * self.interval, 2.0)
+
+
+def _parse_orphan(doc: Mapping[str, Any]) -> OrphanPolicy:
+    return OrphanPolicy(
+        orphan_after=int(doc.get("after", 3)),
+        interval=float(doc.get("interval", 1.0)),
+        mode=str(doc.get("mode", "hold")),
+        floor=float(doc.get("floor", 1.0)),
+        half_life=float(doc.get("half_life", 10.0)),
+    )
+
+
+def parse_service_config(doc: Mapping[str, Any]) -> ServiceConfig:
+    """Parse one JSON document into a :class:`ServiceConfig`."""
+    if not isinstance(doc, Mapping):
+        raise ConfigError("service config must be a JSON object")
+    known = {
+        "host", "port", "interval", "seed", "sample_rate", "trace",
+        "capacity", "channel", "workload", "faults", "orphan", "padll",
+        "audit_capacity", "stale_after",
+    }
+    unknown = set(doc) - known
+    if unknown:
+        raise ConfigError(f"unknown service config keys: {sorted(unknown)}")
+    workload_doc = doc.get("workload", {})
+    workload = WorkloadSpec(
+        jobs=int(workload_doc.get("jobs", 2)),
+        stages_per_job=int(workload_doc.get("stages_per_job", 2)),
+        rate=float(workload_doc.get("rate", 150.0)),
+        ops=tuple(workload_doc.get("ops", ("open", "stat", "mkdir", "getxattr"))),
+        path_prefix=str(workload_doc.get("path_prefix", "/pfs/scratch")),
+    )
+    faults_doc = doc.get("faults", {})
+    faults = FaultSpec(
+        loss=float(faults_doc.get("loss", 0.0)),
+        latency=float(faults_doc.get("latency", 0.0)),
+        jitter=float(faults_doc.get("jitter", 0.0)),
+    )
+    orphan = None if "orphan" not in doc else _parse_orphan(doc["orphan"])
+    padll = None if "padll" not in doc else parse_config(doc["padll"])
+    return ServiceConfig(
+        host=str(doc.get("host", "127.0.0.1")),
+        port=int(doc.get("port", 9178)),
+        interval=float(doc.get("interval", 0.25)),
+        seed=int(doc.get("seed", 0)),
+        sample_rate=float(doc.get("sample_rate", 0.05)),
+        trace=bool(doc.get("trace", True)),
+        capacity=float(doc.get("capacity", 400.0)),
+        channel=str(doc.get("channel", "metadata")),
+        workload=workload,
+        faults=faults,
+        orphan=orphan,
+        padll=padll,
+        audit_capacity=int(doc.get("audit_capacity", 4096)),
+        stale_after=(
+            None if doc.get("stale_after") is None else float(doc["stale_after"])
+        ),
+    )
+
+
+def load_service_config(path: Union[str, Path]) -> ServiceConfig:
+    """Load a service config JSON file."""
+    text = Path(path).read_text()
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"invalid service config JSON in {path}: {exc}") from exc
+    return parse_service_config(doc)
+
+
+def with_overrides(config: ServiceConfig, **overrides: Any) -> ServiceConfig:
+    """CLI-flag overrides on top of a parsed config (None = keep)."""
+    changes = {k: v for k, v in overrides.items() if v is not None}
+    return replace(config, **changes) if changes else config

@@ -1,0 +1,488 @@
+"""The operator service's world: loop + stages + workload + admin plane.
+
+:class:`ServiceRuntime` owns everything behind the HTTP surface: a
+:class:`~repro.core.controller.ControlPlane` over a
+:class:`~repro.core.fabric.FaultyFabric` (wall-clock attached, so live
+partitions and loss have a timeline), :class:`~repro.interpose.
+live_stage.LiveStage` data planes fed by a seeded
+:class:`~repro.service.workload.LiveWorkload`, a
+:class:`~repro.interpose.loop.LiveControlLoop`, and the telemetry spine
+every read endpoint serves from.
+
+Concurrency contract (pinned by ``tests/service/test_concurrent_scrape.py``):
+
+* the **loop thread is the single writer** of control-plane state;
+* server threads **read** through copies -- ``RingLog.snapshot``,
+  ``list(events)``, ``list(spans)`` -- never through live iterators;
+* admin verbs that mutate the controller are **queued** and applied by
+  the loop thread after its next tick (the ``on_tick`` hook), so a POST
+  can never race ``tick()``.  Verbs that touch only thread-safe state
+  (sampling rate, shutdown flag) apply synchronously, as does the whole
+  queue when no loop is running (then there is no writer to race).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.errors import ConfigError, PolicyError, ReproError
+from repro.core.config import ChannelSpec
+from repro.core.controller import ControlPlane, ControlPlaneConfig
+from repro.core.algorithms import ProportionalSharing
+from repro.core.differentiation import ClassifierRule
+from repro.core.fabric import FaultyFabric, LinkProfile
+from repro.core.policies import ConstantRate, PolicyRule, RuleScope
+from repro.core.requests import OperationClass
+from repro.core.rpc import StageEndpoint
+from repro.core.stage import StageIdentity
+from repro.interpose.live_stage import LiveStage
+from repro.interpose.loop import LiveControlLoop
+from repro.service.audit import AuditLog
+from repro.service.config import ServiceConfig
+from repro.service.snapshot import build_snapshot, filter_events, filter_spans
+from repro.service.workload import LiveWorkload
+from repro.telemetry.export import prometheus_text
+from repro.telemetry.runtime import Telemetry, TelemetryConfig
+
+__all__ = ["ServiceRuntime", "ADMIN_ACTIONS"]
+
+#: Admin verbs the service accepts, with the parameters each expects.
+#: Controller-mutating verbs are queued to the loop thread; the rest
+#: apply synchronously (they touch only thread-safe state).
+ADMIN_ACTIONS: Dict[str, str] = {
+    "policy.set": "install or replace a constant-rate policy",
+    "policy.remove": "remove a policy by name",
+    "policy.enable": "enable/disable a policy by name",
+    "job.rate": "cap one job's rate (high-priority job-scoped policy)",
+    "job.reservation": "set a job's guaranteed rate",
+    "job.drain": "clamp a job to the floor rate ahead of eviction",
+    "job.evict": "deregister every stage of a job",
+    "stage.evict": "deregister one stage",
+    "telemetry.sampling": "set the live tracer's head-sampling rate",
+    "service.shutdown": "request a graceful service shutdown",
+}
+
+_SYNC_ACTIONS = frozenset({"telemetry.sampling", "service.shutdown"})
+
+_DEFAULT_CLASSES = frozenset(
+    {OperationClass.METADATA, OperationClass.DIRECTORY_MANAGEMENT}
+)
+
+
+def _default_channel_spec(channel: str) -> ChannelSpec:
+    """The implicit PADLL layout when no document is supplied: one
+    metadata channel catching metadata + directory-management ops."""
+    return ChannelSpec(
+        channel_id=channel,
+        rule=ClassifierRule(
+            name=f"service:{channel}",
+            channel_id=channel,
+            op_classes=_DEFAULT_CLASSES,
+        ),
+    )
+
+
+def _require(params: Mapping[str, Any], key: str, action: str) -> Any:
+    if key not in params:
+        raise ConfigError(f"admin {action}: missing parameter {key!r}")
+    return params[key]
+
+
+def _positive_rate(value: Any, action: str) -> float:
+    try:
+        rate = float(value)
+    except (TypeError, ValueError):
+        raise ConfigError(f"admin {action}: rate must be a number, got {value!r}")
+    if rate <= 0:
+        raise ConfigError(f"admin {action}: rate must be positive, got {rate}")
+    return rate
+
+
+class _LaggedHandler:
+    """Endpoint shim stalling each delivery by a (seeded-jitter) delay.
+
+    Live controller lag: the loop thread sleeps inside the RPC, so
+    enforcement cycles stretch -- the fabric's deterministic latency
+    model mapped onto wall time without the fabric itself ever sleeping.
+    """
+
+    def __init__(self, handler, latency: float, jitter: float, rng) -> None:
+        self._handler = handler
+        self._latency = latency
+        self._jitter = jitter
+        self._rng = rng
+
+    def __call__(self, message):
+        delay = self._latency
+        if self._jitter > 0:
+            delay += self._jitter * self._rng.random()
+        if delay > 0:
+            time.sleep(delay)
+        return self._handler(message)
+
+
+class ServiceRuntime:
+    """One live PADLL world plus its operator/admin surface."""
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+        *,
+        controller: Optional[ControlPlane] = None,
+        telemetry: Optional[Telemetry] = None,
+        loop: Optional[LiveControlLoop] = None,
+    ) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        self.clock = clock
+        self._shutdown = threading.Event()
+        self._shutdown_reason: Optional[str] = None
+        #: Controller mutations queued for the loop thread.
+        self._pending: deque = deque()
+        self.stages: List[LiveStage] = []
+        self.workload: Optional[LiveWorkload] = None
+        if controller is not None:
+            # Wrapped mode: serve an externally built world (tests,
+            # embedders, perfbench).  No stages or workload are created.
+            self.telemetry = telemetry if telemetry is not None else Telemetry()
+            self.controller = controller
+            self.fabric = controller.fabric
+            self.loop = loop
+        else:
+            self.telemetry = Telemetry(
+                TelemetryConfig(
+                    seed=self.config.seed,
+                    sample_rate=self.config.sample_rate,
+                    trace=self.config.trace,
+                )
+            )
+            self._describe_metrics()
+            self._build_world()
+        self.audit = AuditLog(
+            capacity=self.config.audit_capacity,
+            clock=clock,
+            events=self.telemetry.events,
+        )
+
+    # -- world construction -------------------------------------------------
+    def _describe_metrics(self) -> None:
+        registry = self.telemetry.registry
+        registry.describe(
+            "padll_live_throttled_ops_total",
+            "Operations admitted through live enforcement channels.",
+        )
+
+    def _build_world(self) -> None:
+        config = self.config
+        faults = config.faults
+        self.fabric = FaultyFabric(
+            link=LinkProfile(loss=faults.loss),
+            seed=config.seed,
+            telemetry=self.telemetry,
+            clock=self.clock,
+        )
+        padll = config.padll
+        if padll is not None and padll.algorithm is not None:
+            algorithm = padll.algorithm
+        else:
+            algorithm = ProportionalSharing(capacity=config.capacity)
+        self.controller = ControlPlane(
+            fabric=self.fabric,
+            config=ControlPlaneConfig(
+                loop_interval=config.interval,
+                algorithm_channel=config.channel,
+                seed=config.seed,
+            ),
+            algorithm=algorithm,
+            telemetry=self.telemetry,
+        )
+        if padll is not None:
+            padll.install_on(self.controller)
+            for job_id, rate in padll.reservations.items():
+                self.controller.set_reservation(job_id, rate)
+        channel_specs = (
+            padll.channels
+            if padll is not None and padll.channels
+            else [_default_channel_spec(config.channel)]
+        )
+        pfs_mounts = (
+            padll.pfs_mounts
+            if padll is not None and padll.pfs_mounts is not None
+            else ("/pfs",)
+        )
+        lag_rng = None
+        if faults.latency > 0 or faults.jitter > 0:
+            lag_rng = random.Random(config.seed)
+        spec = config.workload
+        now = self.clock()
+        for j in range(spec.jobs):
+            job_id = f"job{j}"
+            for s in range(spec.stages_per_job):
+                stage = LiveStage(
+                    StageIdentity(stage_id=f"{job_id}/s{s}", job_id=job_id),
+                    pfs_mounts=pfs_mounts,
+                    clock=self.clock,
+                    telemetry=self.telemetry,
+                    orphan_policy=config.orphan,
+                )
+                for channel_spec in channel_specs:
+                    channel_spec.apply(stage, now=now)
+                handler = StageEndpoint(stage).handle
+                if lag_rng is not None:
+                    handler = _LaggedHandler(
+                        handler, faults.latency, faults.jitter, lag_rng
+                    )
+                self.controller.register_endpoint(stage.identity, handler, now=now)
+                self.stages.append(stage)
+        self.loop = LiveControlLoop(
+            self.controller,
+            interval=config.interval,
+            clock=self.clock,
+            on_tick=self._on_tick,
+        )
+        if spec.rate > 0:
+            self.workload = LiveWorkload(self.stages, spec, seed=config.seed)
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> None:
+        if self.loop is not None and not self.loop.running:
+            self.loop.start()
+        if self.workload is not None:
+            self.workload.start()
+
+    def stop(self, timeout: float = 5.0) -> Optional[BaseException]:
+        """Graceful teardown; returns the loop's last error, if any."""
+        error = None
+        if self.workload is not None:
+            self.workload.stop(timeout)
+        if self.loop is not None:
+            error = self.loop.drain(timeout)
+        # The loop thread is gone: applying the remaining queue here
+        # cannot race anything, and no admin action is silently lost.
+        self._apply_pending()
+        return error
+
+    @property
+    def shutdown_requested(self) -> bool:
+        return self._shutdown.is_set()
+
+    @property
+    def shutdown_reason(self) -> Optional[str]:
+        return self._shutdown_reason
+
+    def wait_for_shutdown(self, timeout: Optional[float] = None) -> bool:
+        return self._shutdown.wait(timeout)
+
+    # -- admin plane ---------------------------------------------------------
+    def _on_tick(self, now: float) -> None:
+        self._apply_pending()
+
+    def _apply_pending(self) -> None:
+        while True:
+            try:
+                seq, action, params, apply = self._pending.popleft()
+            except IndexError:
+                return
+            try:
+                apply()
+            except ReproError as exc:
+                self.audit.append(action, params, ok=False, error=str(exc), seq=seq)
+            else:
+                self.audit.append(action, params, ok=True, seq=seq)
+
+    def admin(self, action: str, params: Mapping[str, Any]) -> Dict[str, Any]:
+        """Validate + route one admin verb; returns the HTTP-facing result.
+
+        Raises :class:`~repro.errors.ConfigError` (or another
+        :class:`~repro.errors.ReproError`) on invalid input -- the server
+        maps those to 400s and audits the refusal.
+        """
+        if action not in ADMIN_ACTIONS:
+            raise ConfigError(f"unknown admin action {action!r}")
+        params = dict(params)
+        try:
+            apply = self._build_apply(action, params)
+        except ReproError as exc:
+            self.audit.append(action, params, ok=False, error=str(exc))
+            raise
+        if action in _SYNC_ACTIONS or self.loop is None or not self.loop.running:
+            # No loop thread to race (or nothing loop-owned touched):
+            # apply inline so the caller sees the result immediately.
+            try:
+                apply()
+            except ReproError as exc:
+                self.audit.append(action, params, ok=False, error=str(exc))
+                raise
+            record = self.audit.append(action, params, ok=True)
+            return {"applied": True, "seq": record.seq, "action": action}
+        seq = self.audit.next_seq()
+        self._pending.append((seq, action, params, apply))
+        return {"applied": False, "queued": True, "seq": seq, "action": action}
+
+    def _build_apply(
+        self, action: str, params: Mapping[str, Any]
+    ) -> Callable[[], None]:
+        """Validate ``params`` eagerly; return the deferred mutation."""
+        controller = self.controller
+        if action == "policy.set":
+            name = str(_require(params, "name", action))
+            channel = str(params.get("channel") or self.config.channel)
+            rate = _positive_rate(_require(params, "rate", action), action)
+            job = params.get("job")
+            burst = params.get("burst")
+            priority = int(params.get("priority", 10))
+            rule = PolicyRule(
+                name=name,
+                scope=RuleScope(channel_id=channel, job_id=job),
+                schedule=ConstantRate(rate),
+                burst=None if burst is None else float(burst),
+                priority=priority,
+            )
+            return lambda: controller.replace_policy(rule)
+        if action == "policy.remove":
+            name = str(_require(params, "name", action))
+            return lambda: controller.remove_policy(name)
+        if action == "policy.enable":
+            name = str(_require(params, "name", action))
+            enabled = bool(_require(params, "enabled", action))
+            return lambda: controller.set_policy_enabled(name, enabled)
+        if action == "job.rate":
+            job = str(_require(params, "job", action))
+            rate = _positive_rate(_require(params, "rate", action), action)
+            channel = str(params.get("channel") or self.config.channel)
+            rule = PolicyRule(
+                name=f"admin:job:{job}",
+                scope=RuleScope(channel_id=channel, job_id=job),
+                schedule=ConstantRate(rate),
+                priority=100,
+            )
+            return lambda: controller.replace_policy(rule)
+        if action == "job.reservation":
+            job = str(_require(params, "job", action))
+            rate = float(_require(params, "rate", action))
+            return lambda: controller.set_reservation(job, rate)
+        if action == "job.drain":
+            job = str(_require(params, "job", action))
+            if job not in controller.jobs:
+                raise PolicyError(f"admin {action}: no job {job!r}")
+            floor = _positive_rate(params.get("rate", controller.config.min_rate), action)
+            channel = str(params.get("channel") or self.config.channel)
+            rule = PolicyRule(
+                name=f"admin:drain:{job}",
+                scope=RuleScope(channel_id=channel, job_id=job),
+                schedule=ConstantRate(floor),
+                priority=1000,
+            )
+            return lambda: controller.replace_policy(rule)
+        if action == "job.evict":
+            job = str(_require(params, "job", action))
+            if job not in controller.jobs:
+                raise PolicyError(f"admin {action}: no job {job!r}")
+            return lambda: controller.deregister_job(job)
+        if action == "stage.evict":
+            stage = str(_require(params, "stage", action))
+            if stage not in controller.stages:
+                raise PolicyError(f"admin {action}: no stage {stage!r}")
+            return lambda: controller.deregister(stage)
+        if action == "telemetry.sampling":
+            rate = float(_require(params, "rate", action))
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigError(
+                    f"admin {action}: rate must be in [0, 1], got {rate}"
+                )
+            tracer = self.telemetry.tracer
+            if tracer is None:
+                raise ConfigError(
+                    f"admin {action}: tracing is disabled for this service"
+                )
+
+            def set_sampling() -> None:
+                tracer.sample_rate = rate
+
+            return set_sampling
+        if action == "service.shutdown":
+            reason = str(params.get("reason", "admin request"))
+
+            def request_shutdown() -> None:
+                self._shutdown_reason = reason
+                self._shutdown.set()
+
+            return request_shutdown
+        raise ConfigError(f"unknown admin action {action!r}")  # pragma: no cover
+
+    # -- read surface (server threads) --------------------------------------
+    def metrics_text(self) -> str:
+        return prometheus_text(self.telemetry.registry)
+
+    def snapshot(self, tail: int = 32) -> Dict[str, Any]:
+        telemetry_counts = {
+            "events": len(self.telemetry.events.events),
+            "spans": (
+                0 if self.telemetry.tracer is None else len(self.telemetry.tracer.spans)
+            ),
+            "metrics": len(list(self.telemetry.registry.items())),
+        }
+        return build_snapshot(
+            self.clock(),
+            controller=self.controller,
+            loop=self.loop,
+            fabric=self.fabric,
+            audit=self.audit.snapshot(tail),
+            workload=None if self.workload is None else self.workload.counters(),
+            telemetry_counts=telemetry_counts,
+            tail=tail,
+        )
+
+    def events(self, **filters: Any) -> List[Dict[str, Any]]:
+        # list() copies under the GIL; Event objects are append-only.
+        return filter_events(list(self.telemetry.events.events), **filters)
+
+    def spans(self, **filters: Any) -> List[Dict[str, Any]]:
+        tracer = self.telemetry.tracer
+        spans: Sequence[Any] = [] if tracer is None else list(tracer.spans)
+        return filter_spans(spans, **filters)
+
+    def health(self) -> Dict[str, Any]:
+        """The /healthz document; ``healthy`` drives the status code."""
+        now = self.clock()
+        loop = self.loop
+        if loop is None:
+            return {"healthy": False, "reason": "no control loop attached"}
+        age = loop.tick_age(now)
+        stale = age is not None and age > self.config.staleness_threshold
+        healthy = loop.running and not stale
+        reason = None
+        if not loop.running:
+            reason = "control loop not running"
+        elif stale:
+            reason = f"last tick {age:.2f}s ago (threshold {self.config.staleness_threshold:.2f}s)"
+        return {
+            "healthy": healthy,
+            "reason": reason,
+            "running": loop.running,
+            "ticks": loop.ticks,
+            "tick_errors": loop.tick_errors,
+            "last_tick_age": age,
+            "interval": loop.interval,
+        }
+
+    def ready(self) -> Dict[str, Any]:
+        """The /readyz document: healthy + at least one completed tick."""
+        health = self.health()
+        ready = (
+            health["healthy"]
+            and health.get("ticks", 0) >= 1
+            and not self.shutdown_requested
+        )
+        health["ready"] = ready
+        if ready:
+            health["reason"] = None
+        elif health["reason"] is None:
+            health["reason"] = (
+                "shutdown requested" if self.shutdown_requested else "no tick yet"
+            )
+        return health

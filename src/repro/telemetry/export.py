@@ -60,58 +60,139 @@ def events_jsonl(events: Iterable[Event]) -> str:
     return "\n".join(lines) + ("\n" if lines else "")
 
 
+_NAME_OK_FIRST = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_:")
+_NAME_OK_REST = _NAME_OK_FIRST | set("0123456789")
+
+
+def _sanitize_name(name: str) -> str:
+    """Coerce a registry name into a legal exposition-format metric name.
+
+    Registry names may carry dots (the monitoring collector publishes
+    probe series like ``mds.total``); the text format only allows
+    ``[a-zA-Z_:][a-zA-Z0-9_:]*``, so every illegal character becomes an
+    underscore and a leading digit gains one.
+    """
+    if not name:
+        return "_"
+    chars = [c if c in _NAME_OK_REST else "_" for c in name]
+    if chars[0] not in _NAME_OK_FIRST:
+        chars.insert(0, "_")
+    return "".join(chars)
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _label_text(labels) -> str:
     if not labels:
         return ""
-    inner = ",".join(f'{key}="{value}"' for key, value in labels)
+    inner = ",".join(
+        f'{_sanitize_name(key)}="{_escape_label_value(str(value))}"'
+        for key, value in labels
+    )
     return "{" + inner + "}"
 
 
 def _format_value(value: float) -> str:
     if value == float("inf"):
         return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if value != value:  # NaN
+        return "NaN"
     as_int = int(value)
     return str(as_int) if value == as_int else repr(value)
 
 
+class _Family:
+    """One exposition-format metric family: HELP + TYPE + sample lines."""
+
+    __slots__ = ("kind", "help", "lines")
+
+    def __init__(self, kind: str, help_text: str) -> None:
+        self.kind = kind
+        self.help = help_text
+        self.lines: List[str] = []
+
+
 def prometheus_text(registry: MetricsRegistry) -> str:
-    """Prometheus exposition-style text snapshot, sorted by (name, labels).
+    """Prometheus exposition-format text snapshot, grouped per family.
+
+    Every family renders one ``# HELP`` line (the registry description
+    when one was attached via :meth:`MetricsRegistry.describe`, a
+    generated fallback otherwise), one ``# TYPE`` line, then its sample
+    lines -- samples of one family are contiguous, as the format
+    requires.  Names are sanitised to the legal character set, label
+    values are escaped, and histogram ``_count`` lines are derived from
+    the same cumulative-bucket snapshot as the ``+Inf`` bucket so the
+    two agree even while a writer thread keeps observing.  Families are
+    sorted by name and samples by labels, so output is deterministic.
 
     Timeseries registered by the monitoring collector are rendered as
-    gauges holding their last sampled value (count in a companion
-    ``_samples`` line), which keeps the snapshot a flat text format.
+    gauges holding their last sampled value, with the sample count in a
+    companion ``<name>_samples`` family.
     """
     entries = sorted(registry.items(), key=lambda item: (item[0], item[1]))
-    lines: List[str] = []
-    typed = set()
+    families: Dict[str, _Family] = {}
+
+    def family(raw_name: str, kind: str, suffix: str = "") -> _Family:
+        name = _sanitize_name(raw_name) + suffix
+        found = families.get(name)
+        if found is None:
+            described = registry.help_for(raw_name)
+            if described is not None and suffix:
+                described = f"{described} ({suffix.lstrip('_')})"
+            help_text = (
+                described
+                if described is not None
+                else f"{kind} {raw_name}{suffix}"
+            )
+            found = families[name] = _Family(kind, _escape_help(help_text))
+        return found
+
     for name, labels, kind, metric in entries:
         label_text = _label_text(labels)
-        if kind == "counter":
-            if name not in typed:
-                lines.append(f"# TYPE {name} counter")
-                typed.add(name)
-            lines.append(f"{name}{label_text} {_format_value(metric.value)}")
-        elif kind == "gauge":
-            if name not in typed:
-                lines.append(f"# TYPE {name} gauge")
-                typed.add(name)
-            lines.append(f"{name}{label_text} {_format_value(metric.value)}")
+        exposed = _sanitize_name(name)
+        if kind in ("counter", "gauge"):
+            family(name, kind).lines.append(
+                f"{exposed}{label_text} {_format_value(metric.value)}"
+            )
         elif kind == "histogram":
-            if name not in typed:
-                lines.append(f"# TYPE {name} histogram")
-                typed.add(name)
-            for le, count in metric.cumulative():
+            fam = family(name, "histogram")
+            cumulative = metric.cumulative()
+            for le, count in cumulative:
                 bucket_labels = labels + (("le", _format_value(le)),)
-                lines.append(f"{name}_bucket{_label_text(bucket_labels)} {_format_value(count)}")
-            lines.append(f"{name}_count{label_text} {_format_value(metric.count)}")
-            lines.append(f"{name}_sum{label_text} {_format_value(metric.total)}")
+                fam.lines.append(
+                    f"{exposed}_bucket{_label_text(bucket_labels)} "
+                    f"{_format_value(count)}"
+                )
+            total_count = cumulative[-1][1] if cumulative else metric.count
+            fam.lines.append(
+                f"{exposed}_count{label_text} {_format_value(total_count)}"
+            )
+            fam.lines.append(
+                f"{exposed}_sum{label_text} {_format_value(metric.total)}"
+            )
         else:  # timeseries
-            if name not in typed:
-                lines.append(f"# TYPE {name} gauge")
-                typed.add(name)
             value = metric.last()[1] if len(metric) else 0.0
-            lines.append(f"{name}{label_text} {_format_value(value)}")
-            lines.append(f"{name}_samples{label_text} {len(metric)}")
+            family(name, "gauge").lines.append(
+                f"{exposed}{label_text} {_format_value(value)}"
+            )
+            family(name, "gauge", "_samples").lines.append(
+                f"{exposed}_samples{label_text} {len(metric)}"
+            )
+
+    lines: List[str] = []
+    for name in sorted(families):
+        fam = families[name]
+        lines.append(f"# HELP {name} {fam.help}")
+        lines.append(f"# TYPE {name} {fam.kind}")
+        lines.extend(fam.lines)
     return "\n".join(lines) + ("\n" if lines else "")
 
 

@@ -179,6 +179,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._metrics: Dict[Tuple[str, LabelsKey], object] = {}
         self._kinds: Dict[str, str] = {}
+        self._help: Dict[str, str] = {}
 
     def _intern(self, kind: str, name: str, labels: Dict[str, object]):
         known = self._kinds.get(name)
@@ -226,9 +227,33 @@ class MetricsRegistry:
             self._metrics[key] = found
         return found  # type: ignore[return-value]
 
+    def describe(self, name: str, help_text: str) -> None:
+        """Attach a one-line description, rendered as a ``# HELP`` line.
+
+        Describing the same name twice with different text raises: a
+        metric family has exactly one help string in the exposition
+        format, and silently replacing it would make two exporters of
+        the same registry disagree.
+        """
+        known = self._help.get(name)
+        if known is not None and known != help_text:
+            raise ConfigError(
+                f"metric {name!r} already described as {known!r}"
+            )
+        self._help[name] = help_text
+
+    def help_for(self, name: str) -> Optional[str]:
+        return self._help.get(name)
+
     def items(self) -> Iterator[Tuple[str, LabelsKey, str, object]]:
-        """Yield ``(name, labels, kind, metric)`` in insertion order."""
-        for (name, labels), metric in self._metrics.items():
+        """Yield ``(name, labels, kind, metric)`` in insertion order.
+
+        The metric table is materialised before iteration so a reader
+        thread (the operator server's scrape path) can walk a consistent
+        snapshot while the single writer -- the control loop -- interns
+        new handles concurrently.
+        """
+        for (name, labels), metric in list(self._metrics.items()):
             yield name, labels, self._kinds[name], metric
 
     def get(self, name: str, **labels: object) -> Optional[object]:

@@ -1,0 +1,126 @@
+"""The single-writer pin: scraping must never perturb the control loop.
+
+Two bit-identical worlds run the same scripted demand through the same
+control plane.  World A ticks with no server; world B ticks while a
+pack of hammer threads slams every read endpoint of an operator server
+wrapped around it.  If any read path mutated shared state (consumed a
+window, advanced an RNG, interleaved a partial write into the
+enforcement trail), the two enforcement logs would diverge -- the
+assertion here is exact equality, entry for entry.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+
+from repro.core.algorithms import ProportionalSharing
+from repro.core.controller import ControlPlane, ControlPlaneConfig
+from repro.core.differentiation import ClassifierRule
+from repro.core.requests import OperationClass, OperationType, Request
+from repro.core.stage import DataPlaneStage, StageIdentity
+from repro.service import OperatorServer, ServiceRuntime
+from repro.telemetry.runtime import Telemetry, TelemetryConfig
+
+N_TICKS = 60
+N_HAMMERS = 4
+
+_SCRAPE_PATHS = (
+    "/metrics",
+    "/api/v1/snapshot",
+    "/api/v1/events?kind=control.cycle&limit=5",
+    "/api/v1/spans?limit=5",
+    "/api/v1/audit",
+)
+
+
+def build_world():
+    """A deterministic simulated world: 3 jobs, scripted per-tick demand."""
+    telemetry = Telemetry(TelemetryConfig(seed=5, sample_rate=0.5, trace=True))
+    controller = ControlPlane(
+        config=ControlPlaneConfig(loop_interval=1.0, algorithm_channel="metadata"),
+        algorithm=ProportionalSharing(capacity=300.0),
+        telemetry=telemetry,
+    )
+    stages = []
+    for job, demand in (("job0", 180.0), ("job1", 120.0), ("job2", 60.0)):
+        stage = DataPlaneStage(
+            StageIdentity(f"{job}/s0", job), lambda req: None, telemetry=telemetry
+        )
+        stage.create_channel("metadata", rate=float("inf"))
+        stage.add_classifier_rule(
+            ClassifierRule(
+                name="md",
+                channel_id="metadata",
+                op_classes=frozenset({OperationClass.METADATA}),
+            )
+        )
+        controller.register(stage)
+        stages.append((stage, demand))
+    return controller, stages, telemetry
+
+
+def run_ticks(controller, stages, server_url=None, stop=None):
+    for i in range(N_TICKS):
+        now = float(i)
+        for stage, demand in stages:
+            stage.submit(
+                Request(OperationType.OPEN, path="/f", count=demand), now
+            )
+            stage.drain(now)
+        controller.tick(now)
+    if stop is not None:
+        stop.set()
+
+
+def _hammer(url, stop, errors):
+    index = 0
+    while not stop.is_set():
+        path = _SCRAPE_PATHS[index % len(_SCRAPE_PATHS)]
+        index += 1
+        try:
+            with urllib.request.urlopen(url + path, timeout=5.0) as response:
+                if response.status != 200:
+                    errors.append((path, response.status))
+                response.read()
+        except Exception as exc:  # noqa: BLE001 - collected for the assert
+            errors.append((path, repr(exc)))
+
+
+class TestConcurrentScrapeDeterminism:
+    def test_enforcement_log_identical_under_scrape_load(self):
+        # -- world A: no server anywhere near it -------------------------
+        controller_a, stages_a, telemetry_a = build_world()
+        run_ticks(controller_a, stages_a)
+
+        # -- world B: wrapped in a served runtime, scraped throughout ----
+        controller_b, stages_b, telemetry_b = build_world()
+        runtime = ServiceRuntime(controller=controller_b, telemetry=telemetry_b)
+        stop = threading.Event()
+        errors: list = []
+        with OperatorServer(runtime, "127.0.0.1", 0) as server:
+            hammers = [
+                threading.Thread(
+                    target=_hammer, args=(server.url, stop, errors), daemon=True
+                )
+                for _ in range(N_HAMMERS)
+            ]
+            for thread in hammers:
+                thread.start()
+            run_ticks(controller_b, stages_b, stop=stop)
+            for thread in hammers:
+                thread.join(10.0)
+
+        assert not errors, f"scrape failures under load: {errors[:5]}"
+        log_a = controller_a.enforcement_log.to_list()
+        log_b = controller_b.enforcement_log.to_list()
+        assert len(log_a) == N_TICKS * 3
+        assert log_a == log_b
+        # The decision record is identical too: same cycles, same rates.
+        cycles_a = [e.fields for e in telemetry_a.events.of_kind("control.cycle")]
+        cycles_b = [e.fields for e in telemetry_b.events.of_kind("control.cycle")]
+        assert cycles_a  # guard: telemetry actually captured cycles
+        assert json.dumps(cycles_a, sort_keys=True, default=str) == json.dumps(
+            cycles_b, sort_keys=True, default=str
+        )

@@ -1,0 +1,242 @@
+"""Strict Prometheus text-exposition conformance over /metrics.
+
+A small but unforgiving parser for the 0.0.4 text format: it validates
+name charsets, HELP/TYPE placement, family contiguity, label escaping,
+histogram bucket monotonicity, and the ``+Inf == _count`` invariant.
+It runs over both a deliberately nasty synthetic registry (dotted
+names, quotes/newlines/backslashes in label values) and a live
+operator-service scrape.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+import urllib.request
+
+import pytest
+
+from repro.service import OperatorServer, ServiceConfig, ServiceRuntime, WorkloadSpec
+from repro.telemetry.export import prometheus_text
+from repro.telemetry.registry import MetricsRegistry
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>[^ ]+)(?: (?P<timestamp>[0-9]+))?$"
+)
+_LABEL_RE = re.compile(
+    r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\["\\n])*)"'
+)
+_VALUE_RE = re.compile(r"^(?:[+-]?Inf|NaN|-?[0-9.eE+-]+)$")
+
+
+def parse_value(text: str) -> float:
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    if text == "NaN":
+        return float("nan")
+    return float(text)
+
+
+def parse_labels(text: str) -> dict:
+    """Parse a label body strictly: nothing but well-escaped pairs."""
+    labels = {}
+    rest = text
+    while rest:
+        match = _LABEL_RE.match(rest)
+        assert match, f"malformed label segment: {rest!r} in {text!r}"
+        labels[match.group("name")] = match.group("value")
+        rest = rest[match.end():]
+        if rest.startswith(","):
+            rest = rest[1:]
+            assert rest, f"trailing comma in label set {text!r}"
+        else:
+            assert not rest, f"garbage after label pair: {rest!r}"
+    return labels
+
+
+def parse_exposition(text: str) -> dict:
+    """Parse into families; every conformance rule asserts along the way."""
+    families: dict = {}
+    current = None
+    seen_order: list = []
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        assert line == line.rstrip(), f"trailing whitespace on line {line_no}"
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            assert _NAME_RE.match(name), f"bad family name in HELP: {name!r}"
+            assert name not in families, f"duplicate HELP for {name!r}"
+            families[name] = {"help": help_text, "type": None, "samples": []}
+            seen_order.append(name)
+            current = name
+        elif line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            assert name == current, (
+                f"TYPE for {name!r} must follow its HELP (current family "
+                f"{current!r})"
+            )
+            assert kind in ("counter", "gauge", "histogram", "summary", "untyped")
+            assert families[name]["type"] is None, f"duplicate TYPE for {name!r}"
+            families[name]["type"] = kind
+        elif line.startswith("#"):
+            continue  # comment
+        else:
+            match = _SAMPLE_RE.match(line)
+            assert match, f"malformed sample line {line_no}: {line!r}"
+            name = match.group("name")
+            family = _family_of(name, families)
+            assert family is not None, f"sample {name!r} outside any family"
+            assert family == current, (
+                f"family {family!r} samples are not contiguous: {name!r} "
+                f"appeared while {current!r} was open"
+            )
+            assert _VALUE_RE.match(match.group("value")), (
+                f"malformed value on line {line_no}: {match.group('value')!r}"
+            )
+            labels = parse_labels(match.group("labels") or "")
+            families[family]["samples"].append(
+                (name, labels, parse_value(match.group("value")))
+            )
+    for name, family in families.items():
+        assert family["type"] is not None, f"family {name!r} has HELP but no TYPE"
+    return families
+
+
+def _family_of(sample_name: str, families: dict):
+    if sample_name in families:
+        return sample_name
+    for suffix in ("_bucket", "_count", "_sum"):
+        if sample_name.endswith(suffix) and sample_name[: -len(suffix)] in families:
+            return sample_name[: -len(suffix)]
+    return None
+
+
+def check_histograms(families: dict) -> int:
+    """Bucket monotonicity + +Inf==_count for every histogram series."""
+    checked = 0
+    for name, family in families.items():
+        if family["type"] != "histogram":
+            continue
+        series: dict = {}
+        counts: dict = {}
+        for sample_name, labels, value in family["samples"]:
+            if sample_name == f"{name}_bucket":
+                key = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+                series.setdefault(key, []).append((labels["le"], value))
+            elif sample_name == f"{name}_count":
+                counts[tuple(sorted(labels.items()))] = value
+        for key, buckets in series.items():
+            values = [v for _, v in buckets]
+            assert values == sorted(values), (
+                f"{name}{dict(key)}: bucket counts not monotonic: {buckets}"
+            )
+            les = [le for le, _ in buckets]
+            assert les[-1] == "+Inf", f"{name}: last bucket must be +Inf, got {les}"
+            assert counts[key] == values[-1], (
+                f"{name}{dict(key)}: _count {counts[key]} != +Inf bucket "
+                f"{values[-1]}"
+            )
+            checked += 1
+    return checked
+
+
+class TestSyntheticRegistry:
+    def make_registry(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.describe("padll_ops_total", "Operations processed.")
+        registry.counter("padll_ops_total", job='j"1\n', stage="s\\0").inc(3)
+        registry.counter("mds.total").inc(20)  # dotted name, must sanitise
+        registry.counter("0starts.with.digit").inc(1)
+        histogram = registry.histogram("wait_seconds", bounds=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        series = registry.timeseries("probe.series")
+        series.append(0.0, 1.0)
+        series.append(1.0, 2.0)
+        registry.gauge("queue_depth", shard="0").set(4.2)
+        return registry
+
+    def test_parses_clean(self):
+        families = parse_exposition(prometheus_text(self.make_registry()))
+        assert "padll_ops_total" in families
+        assert families["padll_ops_total"]["help"] == "Operations processed."
+        assert families["padll_ops_total"]["type"] == "counter"
+
+    def test_names_sanitised(self):
+        families = parse_exposition(prometheus_text(self.make_registry()))
+        assert "mds_total" in families
+        assert "_0starts_with_digit" in families
+        for name in families:
+            assert _NAME_RE.match(name)
+
+    def test_label_values_escaped_roundtrip(self):
+        families = parse_exposition(prometheus_text(self.make_registry()))
+        (sample,) = families["padll_ops_total"]["samples"]
+        _, labels, value = sample
+        # The parser keeps escape sequences; unescape and compare.
+        unescaped = (
+            labels["job"].replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+        )
+        assert unescaped == 'j"1\n'
+        assert labels["stage"] == "s\\\\0"
+        assert value == 3
+
+    def test_histogram_invariants(self):
+        families = parse_exposition(prometheus_text(self.make_registry()))
+        assert check_histograms(families) == 1
+
+    def test_every_family_has_help_and_type(self):
+        text = prometheus_text(self.make_registry())
+        families = parse_exposition(text)
+        sample_names = {
+            sample[0]
+            for family in families.values()
+            for sample in family["samples"]
+        }
+        assert sample_names  # non-empty scrape
+        for family in families.values():
+            assert family["type"] is not None
+            assert family["help"]
+
+
+class TestLiveScrape:
+    def test_operator_metrics_conform(self):
+        config = ServiceConfig(
+            port=0,
+            interval=0.05,
+            seed=13,
+            sample_rate=0.5,
+            workload=WorkloadSpec(jobs=2, stages_per_job=2, rate=100.0),
+            capacity=150.0,
+        )
+        runtime = ServiceRuntime(config)
+        runtime.start()
+        try:
+            with OperatorServer(runtime, "127.0.0.1", 0) as server:
+                deadline = time.monotonic() + 5.0
+                while runtime.loop.ticks < 3 and time.monotonic() < deadline:
+                    time.sleep(0.05)
+                with urllib.request.urlopen(server.url + "/metrics") as response:
+                    assert response.status == 200
+                    text = response.read().decode()
+        finally:
+            runtime.stop()
+        families = parse_exposition(text)
+        assert "padll_live_throttled_ops_total" in families
+        assert (
+            families["padll_live_throttled_ops_total"]["help"]
+            == "Operations admitted through live enforcement channels."
+        )
+        check_histograms(families)
+        for family in families.values():
+            for _, labels, _ in family["samples"]:
+                for label_name in labels:
+                    assert re.match(r"^[a-zA-Z_][a-zA-Z0-9_]*$", label_name)

@@ -1,0 +1,240 @@
+"""HTTP surface tests for the operator server."""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import (
+    OperatorServer,
+    SNAPSHOT_VERSION,
+    ServiceConfig,
+    ServiceRuntime,
+    WorkloadSpec,
+)
+
+
+def make_runtime(**kwargs) -> ServiceRuntime:
+    defaults = dict(
+        port=0,
+        interval=0.05,
+        seed=11,
+        sample_rate=1.0,
+        workload=WorkloadSpec(jobs=2, stages_per_job=1, rate=0.0),
+        capacity=100.0,
+    )
+    defaults.update(kwargs)
+    return ServiceRuntime(ServiceConfig(**defaults))
+
+
+@pytest.fixture()
+def served():
+    runtime = make_runtime()
+    server = OperatorServer(runtime, "127.0.0.1", 0)
+    server.start()
+    yield runtime, server
+    server.stop()
+    runtime.stop()
+
+
+def get(server, path):
+    with urllib.request.urlopen(server.url + path) as response:
+        return response.status, response.headers, response.read().decode()
+
+
+def post(server, path, doc):
+    request = urllib.request.Request(
+        server.url + path, data=json.dumps(doc).encode(), method="POST"
+    )
+    with urllib.request.urlopen(request) as response:
+        return response.status, json.loads(response.read().decode())
+
+
+class TestReadEndpoints:
+    def test_metrics_content_type(self, served):
+        runtime, server = served
+        status, headers, body = get(server, "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain; version=0.0.4")
+        assert "# TYPE" in body
+
+    def test_snapshot_versioned(self, served):
+        runtime, server = served
+        status, _, body = get(server, "/api/v1/snapshot")
+        snapshot = json.loads(body)
+        assert status == 200
+        assert snapshot["version"] == SNAPSHOT_VERSION
+        assert set(snapshot["control_plane"]["jobs"]) == {"job0", "job1"}
+        assert snapshot["loop"]["attached"] is True
+        assert snapshot["fabric"]["attached"] is True
+        assert snapshot["telemetry"]["events"] >= 0
+
+    def test_events_jsonl_stream(self, served):
+        runtime, server = served
+        runtime.admin("policy.set", {"name": "cap", "rate": 5.0})
+        runtime.admin("policy.remove", {"name": "cap"})
+        status, headers, body = get(server, "/api/v1/events?kind=control.admin")
+        assert status == 200
+        assert headers["Content-Type"] == "application/x-ndjson"
+        rows = [json.loads(line) for line in body.strip().splitlines()]
+        assert [row["fields"]["action"] for row in rows] == [
+            "policy.set",
+            "policy.remove",
+        ]
+
+    def test_events_filters(self, served):
+        runtime, server = served
+        runtime.admin("policy.set", {"name": "cap", "rate": 5.0})
+        status, _, body = get(server, "/api/v1/events?kind=control.admin&limit=0")
+        assert status == 200 and body.strip() == ""
+        status, _, body = get(server, "/api/v1/events?kind=no.such.kind")
+        assert status == 200 and body.strip() == ""
+
+    def test_spans_filter_by_job(self, served):
+        runtime, server = served
+        from repro.core.requests import OperationType, Request
+
+        stage = runtime.stages[0]
+        stage.throttle(Request(op=OperationType.OPEN, path="/pfs/x"))
+        status, _, body = get(
+            server, f"/api/v1/spans?job={stage.identity.job_id}"
+        )
+        rows = [json.loads(line) for line in body.strip().splitlines()]
+        assert rows and all(
+            row["attrs"]["job"] == stage.identity.job_id for row in rows
+        )
+        status, _, body = get(server, "/api/v1/spans?job=absent")
+        assert body.strip() == ""
+
+    def test_audit_endpoint(self, served):
+        runtime, server = served
+        runtime.admin("policy.set", {"name": "cap", "rate": 5.0})
+        status, _, body = get(server, "/api/v1/audit")
+        records = json.loads(body)
+        assert status == 200
+        assert records[-1]["action"] == "policy.set"
+
+    def test_admin_index_lists_verbs(self, served):
+        runtime, server = served
+        status, _, body = get(server, "/api/v1/admin")
+        assert status == 200
+        assert "policy.set" in json.loads(body)
+
+    def test_unknown_route_404(self, served):
+        runtime, server = served
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get(server, "/api/v1/nope")
+        assert excinfo.value.code == 404
+
+    def test_bad_query_param_400(self, served):
+        runtime, server = served
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get(server, "/api/v1/events?limit=many")
+        assert excinfo.value.code == 400
+
+
+class TestHealth:
+    def test_unhealthy_before_loop_starts(self, served):
+        runtime, server = served
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get(server, "/healthz")
+        assert excinfo.value.code == 503
+        assert json.loads(excinfo.value.read())["running"] is False
+
+    def test_healthy_and_ready_with_running_loop(self, served):
+        runtime, server = served
+        runtime.start()
+        deadline = time.monotonic() + 5.0
+        while runtime.loop.ticks < 1 and time.monotonic() < deadline:
+            time.sleep(0.02)
+        status, _, body = get(server, "/healthz")
+        assert status == 200 and json.loads(body)["healthy"] is True
+        status, _, body = get(server, "/readyz")
+        assert status == 200 and json.loads(body)["ready"] is True
+
+    def test_ready_flips_on_shutdown_request(self, served):
+        runtime, server = served
+        runtime.start()
+        deadline = time.monotonic() + 5.0
+        while runtime.loop.ticks < 1 and time.monotonic() < deadline:
+            time.sleep(0.02)
+        post(server, "/api/v1/admin/service.shutdown", {"reason": "test"})
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get(server, "/readyz")
+        assert excinfo.value.code == 503
+        # Liveness is unaffected: the loop is still ticking.
+        status, _, _ = get(server, "/healthz")
+        assert status == 200
+
+
+class TestAdminPost:
+    def test_policy_set_applies_inline_without_loop(self, served):
+        runtime, server = served
+        status, result = post(
+            server, "/api/v1/admin/policy.set", {"name": "cap", "rate": 7.0}
+        )
+        assert status == 200 and result["applied"] is True
+        assert runtime.controller.policies["cap"].rate_at(0.0) == 7.0
+
+    def test_unknown_verb_404(self, served):
+        runtime, server = served
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post(server, "/api/v1/admin/frobnicate", {})
+        assert excinfo.value.code == 404
+
+    def test_invalid_params_400_and_audited(self, served):
+        runtime, server = served
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post(server, "/api/v1/admin/policy.set", {"rate": 5.0})
+        assert excinfo.value.code == 400
+        assert runtime.audit.snapshot()[-1]["ok"] is False
+
+    def test_invalid_json_400(self, served):
+        runtime, server = served
+        request = urllib.request.Request(
+            server.url + "/api/v1/admin/policy.set", data=b"{nope", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 400
+
+    def test_empty_body_is_empty_params(self, served):
+        runtime, server = served
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post(server, "/api/v1/admin/policy.remove", {})
+        assert excinfo.value.code == 400
+
+
+class TestLifecycle:
+    def test_ephemeral_port_discovery(self):
+        runtime = make_runtime()
+        server = OperatorServer(runtime, "127.0.0.1", 0)
+        try:
+            assert server.port != 0
+            server.start()
+            assert server.running
+            status, _, _ = get(server, "/api/v1/snapshot")
+            assert status == 200
+        finally:
+            server.stop()
+            runtime.stop()
+        assert not server.running
+
+    def test_stop_is_idempotent(self):
+        runtime = make_runtime()
+        server = OperatorServer(runtime, "127.0.0.1", 0)
+        server.start()
+        server.stop()
+        server.stop()
+        runtime.stop()
+
+    def test_context_manager(self):
+        runtime = make_runtime()
+        with OperatorServer(runtime, "127.0.0.1", 0) as server:
+            status, _, _ = get(server, "/api/v1/snapshot")
+            assert status == 200
+        runtime.stop()

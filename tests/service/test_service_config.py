@@ -1,0 +1,124 @@
+"""Tests for the operator service configuration loader."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.core.algorithms import ProportionalSharing
+from repro.service.config import (
+    FaultSpec,
+    ServiceConfig,
+    WorkloadSpec,
+    load_service_config,
+    parse_service_config,
+    with_overrides,
+)
+
+
+class TestSpecs:
+    def test_defaults(self):
+        config = ServiceConfig()
+        assert config.host == "127.0.0.1"
+        assert config.port == 9178
+        assert config.workload.n_stages == 4
+        assert not config.faults.active
+        assert config.padll is None
+
+    def test_staleness_threshold_derives_from_interval(self):
+        assert ServiceConfig(interval=1.0).staleness_threshold == 5.0
+        assert ServiceConfig(interval=0.1).staleness_threshold == 2.0
+        assert ServiceConfig(stale_after=9.0).staleness_threshold == 9.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"port": -1},
+            {"port": 70000},
+            {"interval": 0.0},
+            {"sample_rate": 1.5},
+            {"capacity": 0.0},
+            {"channel": ""},
+            {"audit_capacity": 0},
+            {"stale_after": 0.0},
+        ],
+    )
+    def test_invalid_service_config(self, kwargs):
+        with pytest.raises(ConfigError):
+            ServiceConfig(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"jobs": 0}, {"stages_per_job": 0}, {"rate": -1.0}, {"ops": ()}],
+    )
+    def test_invalid_workload(self, kwargs):
+        with pytest.raises(ConfigError):
+            WorkloadSpec(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"loss": 1.5}, {"latency": -1.0}, {"jitter": -0.1}]
+    )
+    def test_invalid_faults(self, kwargs):
+        with pytest.raises(ConfigError):
+            FaultSpec(**kwargs)
+
+
+class TestParse:
+    def test_full_document(self):
+        config = parse_service_config(
+            {
+                "host": "0.0.0.0",
+                "port": 9999,
+                "interval": 0.5,
+                "seed": 42,
+                "sample_rate": 0.25,
+                "trace": False,
+                "capacity": 1234.0,
+                "workload": {"jobs": 3, "stages_per_job": 1, "rate": 10.0},
+                "faults": {"loss": 0.1, "latency": 0.01},
+                "orphan": {"mode": "decay", "after": 2, "floor": 3.0},
+                "padll": {
+                    "channels": [{"id": "metadata", "classes": ["metadata"]}],
+                    "algorithm": {"type": "proportional", "capacity": 500},
+                },
+            }
+        )
+        assert config.port == 9999
+        assert config.workload.jobs == 3
+        assert config.faults.loss == 0.1
+        assert config.orphan is not None and config.orphan.mode == "decay"
+        assert isinstance(config.padll.algorithm, ProportionalSharing)
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigError, match="unknown service config keys"):
+            parse_service_config({"prot": 1})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_service_config([1, 2, 3])
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "service.json"
+        path.write_text(json.dumps({"port": 0, "interval": 0.1}))
+        config = load_service_config(path)
+        assert config.port == 0
+        assert config.interval == 0.1
+
+    def test_load_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ConfigError, match="invalid service config JSON"):
+            load_service_config(path)
+
+
+class TestOverrides:
+    def test_none_keeps_config(self):
+        base = ServiceConfig(port=1234)
+        assert with_overrides(base, port=None, seed=None) is base
+
+    def test_overrides_apply(self):
+        config = with_overrides(ServiceConfig(), port=0, seed=9)
+        assert config.port == 0
+        assert config.seed == 9

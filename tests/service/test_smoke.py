@@ -1,0 +1,126 @@
+"""End-to-end smokes: the CLI entrypoint and live faults over HTTP.
+
+These are the in-repo versions of the CI ``serve-smoke`` job: boot the
+whole service (loop + workload + server), drive it from outside through
+nothing but HTTP, and require a clean shutdown with zero surviving
+worker threads.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+
+from repro.core.fabric import LinkProfile
+from repro.core.stage import OrphanPolicy
+from repro.service import OperatorServer, ServiceConfig, ServiceRuntime, WorkloadSpec
+
+
+def get(url: str):
+    with urllib.request.urlopen(url, timeout=5.0) as response:
+        return response.status, response.read().decode()
+
+
+def wait_until(predicate, timeout: float = 10.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.05)
+    return False
+
+
+class TestCliServe:
+    def test_serve_runs_and_shuts_down_clean(self):
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                "--port", "0",
+                "--duration", "2",
+                "--interval", "0.1",
+                "--seed", "5",
+                "--sample-rate", "0.2",
+                "--workload-rate", "80",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "padll-repro serve: listening on http://127.0.0.1:" in result.stdout
+        assert "clean shutdown: 0 worker thread(s) remaining" in result.stdout
+
+
+class TestLiveFaultsOverHttp:
+    def test_orphan_decay_and_readoption_visible_in_events(self):
+        config = ServiceConfig(
+            port=0,
+            interval=0.05,
+            seed=21,
+            sample_rate=0.0,
+            trace=False,
+            workload=WorkloadSpec(jobs=1, stages_per_job=1, rate=150.0),
+            capacity=100.0,
+            orphan=OrphanPolicy(
+                orphan_after=2,
+                interval=0.05,
+                mode="decay",
+                floor=2.0,
+                half_life=0.05,
+            ),
+        )
+        runtime = ServiceRuntime(config)
+        runtime.start()
+        try:
+            with OperatorServer(runtime, "127.0.0.1", 0) as server:
+                stage = runtime.stages[0]
+                stage_id = stage.identity.stage_id
+                assert wait_until(
+                    lambda: stage.channel_rate(config.channel) != float("inf")
+                )
+
+                # Sever the control link; the workload keeps the throttle
+                # path hot, so the stage orphans and decays on its own.
+                runtime.fabric.set_link(stage_id, LinkProfile(loss=1.0))
+
+                def events(kind):
+                    _, body = get(
+                        server.url + f"/api/v1/events?kind={kind}&job={stage_id}"
+                    )
+                    return [json.loads(line) for line in body.strip().splitlines()]
+
+                assert wait_until(lambda: events("stage.orphaned"))
+                assert wait_until(lambda: events("rpc.drop"))
+                assert wait_until(
+                    lambda: stage.channel_rate(config.channel) == 2.0
+                )
+
+                # Heal; re-adoption arrives with the next enforcement.
+                runtime.fabric.set_link(stage_id, LinkProfile())
+                assert wait_until(lambda: events("stage.adopted"))
+                adopted = events("stage.adopted")[0]
+                assert adopted["fields"] == {"stage": stage_id, "job": "job0"}
+
+                # The snapshot aggregates the same story.
+                _, body = get(server.url + "/api/v1/snapshot")
+                snapshot = json.loads(body)
+                assert snapshot["fabric"]["lost"] > 0
+                assert snapshot["control_plane"]["collect_failures"] > 0
+        finally:
+            runtime.stop()
+        time.sleep(0.2)
+        workers = [
+            thread
+            for thread in threading.enumerate()
+            if thread is not threading.main_thread()
+            and thread.is_alive()
+            and thread.name.startswith("padll-")
+        ]
+        assert workers == []

@@ -63,9 +63,26 @@ class TestPrometheusText:
         assert 'padll_wait_seconds_bucket{stage="s0",le="0.1"} 2' in text
         assert 'padll_wait_seconds_bucket{stage="s0",le="+Inf"} 3' in text
         assert 'padll_wait_seconds_count{stage="s0"} 3' in text
-        # Timeseries render as last-value gauge plus a sample count.
-        assert "mds.total 20" in text
-        assert "mds.total_samples 2" in text
+        # Timeseries render as last-value gauge plus a sample count; the
+        # dotted source name is sanitised for the 0.0.4 text format.
+        assert "mds_total 20" in text
+        assert "mds_total_samples 2" in text
+        # The sanitised family keeps a pointer to the original name.
+        assert "# HELP mds_total gauge mds.total" in text
+
+    def test_every_family_has_help_and_type(self):
+        text = prometheus_text(_sample_registry())
+        families = [
+            line.split(" ", 3)[2]
+            for line in text.splitlines()
+            if line.startswith("# TYPE ")
+        ]
+        helps = [
+            line.split(" ", 3)[2]
+            for line in text.splitlines()
+            if line.startswith("# HELP ")
+        ]
+        assert families and families == helps
 
     def test_deterministic_output(self):
         assert prometheus_text(_sample_registry()) == prometheus_text(

@@ -99,6 +99,7 @@ class TestHarness:
             "classifier_decisions_per_sec",
             "control_cycles_per_sec",
             "telemetry_off_stage_ops_per_sec",
+            "service_snapshot_per_sec",
             "fig4_sim_seconds_per_sec",
             "sweep_cells_per_sec",
             "sharded_control_cycles_per_sec",
