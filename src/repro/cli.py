@@ -382,6 +382,67 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--latency", type=float, help="control-RPC latency injected per delivery, seconds"
     )
+    serve.add_argument(
+        "--stage-procs",
+        type=int,
+        help="run stages in this many supervised stage-host child processes "
+        "(0 = in-process, the default)",
+    )
+    serve.add_argument(
+        "--control-host", help="socket-fabric listen address for stage hosts"
+    )
+    serve.add_argument(
+        "--control-port",
+        type=int,
+        help="socket-fabric listen port for stage hosts (0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--admin-token",
+        help="shared secret required on admin verbs "
+        "(default: PADLL_ADMIN_TOKEN env var; unset leaves admin open)",
+    )
+    serve.add_argument(
+        "--audit-dir",
+        help="directory for persistent JSONL audit/event sinks (rotating)",
+    )
+
+    # -- stage host (out-of-process worker) ---------------------------------------------
+    stage_host = sub.add_parser(
+        "stage-host",
+        help="run live stages out-of-process, dialing a controller's socket fabric",
+    )
+    stage_host.add_argument(
+        "--connect", required=True, help="controller control address HOST:PORT"
+    )
+    stage_host.add_argument("--host-id", required=True, help="this worker's name")
+    stage_host.add_argument(
+        "--stages",
+        required=True,
+        help="comma-separated stage ids; the job id is each id's first '/' segment",
+    )
+    stage_host.add_argument("--seed", type=int, default=0)
+    stage_host.add_argument("--channel", default="metadata")
+    stage_host.add_argument(
+        "--workload-rate",
+        type=float,
+        default=0.0,
+        help="offered ops/s per stage (0 disables the driver threads)",
+    )
+    stage_host.add_argument(
+        "--workload-ops", default="open,stat,mkdir,getxattr",
+        help="comma-separated op mix for the synthetic workload",
+    )
+    stage_host.add_argument("--path-prefix", default="/pfs/scratch")
+    stage_host.add_argument("--sample-rate", type=float, default=0.05)
+    stage_host.add_argument(
+        "--push-interval",
+        type=float,
+        default=0.5,
+        help="seconds between telemetry pushes to the controller",
+    )
+    stage_host.add_argument(
+        "--duration", type=float, default=None, help="exit cleanly after N seconds"
+    )
 
     # -- policy configs ----------------------------------------------------------------
     policy = sub.add_parser("policy", help="validate a PADLL config file")
@@ -913,6 +974,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     config = (
         load_service_config(args.config) if args.config else ServiceConfig()
     )
+    import os as _os
+
+    admin_token = args.admin_token
+    if admin_token is None:
+        admin_token = _os.environ.get("PADLL_ADMIN_TOKEN") or None
     config = with_overrides(
         config,
         host=args.host,
@@ -921,6 +987,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         seed=args.seed,
         sample_rate=args.sample_rate,
         capacity=args.capacity,
+        stage_procs=args.stage_procs,
+        control_host=args.control_host,
+        control_port=args.control_port,
+        admin_token=admin_token,
+        audit_dir=args.audit_dir,
     )
     workload_changes = {
         key: value
@@ -1002,6 +1073,66 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stage_host(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.errors import ReproError
+    from repro.service.config import WorkloadSpec
+    from repro.service.stagehost import StageHost
+
+    host, _, port_text = args.connect.rpartition(":")
+    if not host or not port_text.isdigit():
+        print(f"stage-host: --connect must be HOST:PORT, got {args.connect!r}")
+        return 2
+    stage_ids = [part.strip() for part in args.stages.split(",") if part.strip()]
+    workload = None
+    if args.workload_rate > 0:
+        workload = WorkloadSpec(
+            rate=args.workload_rate,
+            ops=tuple(
+                op.strip() for op in args.workload_ops.split(",") if op.strip()
+            ),
+            path_prefix=args.path_prefix,
+        )
+    try:
+        stage_host = StageHost(
+            args.host_id,
+            stage_ids,
+            channel=args.channel,
+            seed=args.seed,
+            workload=workload,
+            sample_rate=args.sample_rate,
+            push_interval=args.push_interval,
+        )
+    except ReproError as exc:
+        print(f"stage-host: {exc}")
+        return 2
+
+    def on_signal(signum, frame) -> None:
+        stage_host.request_stop()
+
+    signal.signal(signal.SIGINT, on_signal)
+    signal.signal(signal.SIGTERM, on_signal)
+    try:
+        stage_host.start(host, int(port_text))
+    except ReproError as exc:
+        print(f"stage-host {args.host_id}: connect failed: {exc}")
+        return 1
+    print(
+        f"stage-host {args.host_id}: {len(stage_ids)} stage(s) registered "
+        f"with {args.connect}",
+        flush=True,
+    )
+    code = stage_host.run(args.duration)
+    print(
+        f"stage-host {args.host_id}: exiting "
+        f"({'link lost' if code else 'stopped'}), "
+        f"{stage_host.pushes} telemetry push(es)",
+        flush=True,
+    )
+    return code
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -1025,6 +1156,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_lint(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "stage-host":
+            return _cmd_stage_host(args)
         if args.command == "policy":
             return _cmd_policy_check(args)
         return _cmd_ablation(args)

@@ -40,6 +40,7 @@ from repro.core.requests import (
 from repro.core.rpc import DelayedEnforceFabric, InMemoryFabric, RpcFabric, RpcMessage
 from repro.core.stage import DataPlaneStage, StageConfig, StageIdentity, StageStats
 from repro.core.token_bucket import TokenBucket
+from repro.core.transport import InProcTransport, Transport
 
 __all__ = [
     "Channel",
@@ -53,6 +54,7 @@ __all__ = [
     "DelayedEnforceFabric",
     "DominantResourceFairness",
     "InMemoryFabric",
+    "InProcTransport",
     "JobDemand",
     "JobInfo",
     "MDS_OP_KINDS",
@@ -74,6 +76,7 @@ __all__ = [
     "StaticPartition",
     "SteppedRate",
     "TokenBucket",
+    "Transport",
     "load_config",
     "parse_config",
 ]

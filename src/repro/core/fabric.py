@@ -31,6 +31,7 @@ from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import ConfigError, RPCError, StageNotRegistered
+from repro.core.transport import InProcTransport, Transport
 from repro.simulation.rng import make_rng
 
 __all__ = ["LinkProfile", "FaultyFabric"]
@@ -79,6 +80,14 @@ class FaultyFabric:
     synchronous this way).  ``rewrite_now`` controls whether deferred
     enforcement messages have their ``now`` field rewritten to arrival
     time (a token bucket cannot refill into the past).
+
+    The fabric is a *decorator* over a :class:`~repro.core.transport.
+    Transport`: the registry and the actual delivery live in the inner
+    transport (:class:`~repro.core.transport.InProcTransport` by
+    default, a socket transport in the out-of-process service mode),
+    while every fault draw, counter, and partition check happens here --
+    so loss/latency/partition injection behaves identically over
+    in-process and socket links.
     """
 
     def __init__(
@@ -93,8 +102,11 @@ class FaultyFabric:
         rewrite_now: bool = True,
         async_reply: bool = True,
         clock: Optional[Callable[[], float]] = None,
+        transport: Optional[Transport] = None,
     ) -> None:
         self.env = env
+        #: Delivery substrate this fabric decorates with faults.
+        self.transport = transport if transport is not None else InProcTransport()
         #: Engine-less notion of time.  The live interposition layer has
         #: no simulation engine; it passes its own (wall) clock so
         #: scripted partition windows and telemetry drop events still
@@ -112,7 +124,6 @@ class FaultyFabric:
         #: Whether ``call_async`` replies traverse the link again (second
         #: latency/loss draw).  The SimFabric shim models a single leg.
         self._async_reply = async_reply
-        self._handlers: Dict[str, Callable[[Any], Any]] = {}
         #: Scripted partition windows: (start, end, addresses-or-None).
         self._partitions: List[Tuple[float, float, Optional[frozenset]]] = []
         self.calls = 0
@@ -124,19 +135,15 @@ class FaultyFabric:
         #: Messages delivered through the engine rather than synchronously.
         self.deferred = 0
 
-    # -- registry ----------------------------------------------------------
+    # -- registry (delegated to the inner transport) -----------------------
     def bind(self, address: str, handler: Callable[[Any], Any]) -> None:
-        if address in self._handlers:
-            raise RPCError(f"address {address!r} already bound")
-        self._handlers[address] = handler
+        self.transport.bind(address, handler)
 
     def unbind(self, address: str) -> None:
-        if address not in self._handlers:
-            raise StageNotRegistered(f"address {address!r} not bound")
-        del self._handlers[address]
+        self.transport.unbind(address)
 
     def bound(self, address: str) -> bool:
-        return address in self._handlers
+        return self.transport.bound(address)
 
     # -- fault scripting ---------------------------------------------------
     def set_link(self, address: str, link: LinkProfile) -> None:
@@ -215,7 +222,7 @@ class FaultyFabric:
         return link.latency
 
     def _dispatch_sync(self, address: str, message: Any) -> Any:
-        handler = self._handlers.get(address)
+        handler = self.transport.handler(address)
         if handler is None:
             raise StageNotRegistered(f"address {address!r} not bound")
         self.calls += 1
@@ -248,7 +255,7 @@ class FaultyFabric:
             # fabric composes with experiments that expect zero-latency
             # enforcement to take effect within the same control tick.
             return self._dispatch_sync(address, message)
-        if address not in self._handlers:
+        if not self.transport.bound(address):
             raise StageNotRegistered(f"address {address!r} not bound")
         self.calls += 1
         reason = self._undeliverable(address, message)
@@ -265,7 +272,7 @@ class FaultyFabric:
         env = self.env
 
         def deliver() -> None:
-            handler = self._handlers.get(address)
+            handler = self.transport.handler(address)
             if handler is None:
                 # Deregistered while in flight; drop silently.
                 return
@@ -290,8 +297,7 @@ class FaultyFabric:
         """
         if self.env is None:
             raise ConfigError("call_async needs an engine-attached fabric")
-        handler = self._handlers.get(address)
-        if handler is None:
+        if self.transport.handler(address) is None:
             raise StageNotRegistered(f"address {address!r} not bound")
         self.calls += 1
         env = self.env
@@ -310,7 +316,7 @@ class FaultyFabric:
         delay = self._delay(link)
 
         def deliver() -> None:
-            live = self._handlers.get(address)
+            live = self.transport.handler(address)
             if live is None:
                 return  # deregistered in flight: request vanishes
             try:

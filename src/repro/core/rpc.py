@@ -5,12 +5,24 @@ request/response messaging with three verbs -- register, collect
 statistics, enforce rule -- plus failure visibility.  We model that with
 typed messages over a pluggable fabric.
 
-The fabric implementation lives in :mod:`repro.core.fabric`
-(:class:`~repro.core.fabric.FaultyFabric`): one composable substrate
-with per-link seeded latency/jitter/loss and scripted partitions.  The
-three historical fabrics -- :class:`InMemoryFabric`, :class:`SimFabric`,
-:class:`DelayedEnforceFabric` -- remain here as thin shims over it so
-every existing call site and test keeps its exact semantics.
+This module owns the *verbs* (typed messages) and the server-side
+dispatcher (:class:`StageEndpoint`).  The wire stack around them is
+layered:
+
+* :mod:`repro.core.wire` -- the codec: versioned, length-prefixed
+  binary framing for every verb defined here (``WIRE_VERSION``
+  handshake, exact float round-trip);
+* :mod:`repro.core.transport` -- the delivery interface
+  (:class:`~repro.core.transport.Transport`) with the in-process
+  implementation; :mod:`repro.net` adds the socket implementation;
+* :mod:`repro.core.fabric` -- :class:`~repro.core.fabric.FaultyFabric`,
+  a fault-injection decorator over any transport with per-link seeded
+  latency/jitter/loss and scripted partitions.
+
+The three historical fabrics -- :class:`InMemoryFabric`,
+:class:`SimFabric`, :class:`DelayedEnforceFabric` -- remain here as thin
+shims over :class:`~repro.core.fabric.FaultyFabric` so every existing
+call site and test keeps its exact semantics.
 """
 
 from __future__ import annotations

@@ -23,6 +23,7 @@ __all__ = [
     "ConfigError",
     "PolicyError",
     "RPCError",
+    "WireError",
     "StageNotRegistered",
     "ShardWorkerError",
     "InterpositionError",
@@ -52,6 +53,10 @@ class PolicyError(ReproError):
 
 class RPCError(ReproError):
     """Control-plane <-> stage communication failure."""
+
+
+class WireError(RPCError):
+    """Malformed or version-incompatible control-plane wire traffic."""
 
 
 class StageNotRegistered(RPCError):

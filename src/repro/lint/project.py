@@ -19,6 +19,9 @@ What is collected (each entry names the rules that consume it):
   ``handle*`` dispatchers, with module-level tuple constants expanded
   (WIRE001)
 * positional tuple-unpacks over plain attribute sequences (WIRE002)
+* ``register_codec(Cls, tag, (field, ...))`` call sites with the
+  registered class canonicalised and the field-tuple arity counted
+  (WIRE001 codec coverage, WIRE002 codec arity)
 * subscripts of attribute expressions, classified by index shape and
   load/store context  (WIRE003, SHM001)
 * raw ``SharedMemory`` constructions, ``resource_tracker.unregister``
@@ -49,7 +52,7 @@ __all__ = [
 
 #: Bump whenever the collected shape changes: the incremental cache keys
 #: on it, so stale fact records can never feed the project pass.
-FACTS_VERSION = 1
+FACTS_VERSION = 2
 
 _HANDLER_PREFIXES = ("handle_", "_handle")
 _NAMEDTUPLE_BASES = frozenset({"typing.NamedTuple", "NamedTuple"})
@@ -111,6 +114,19 @@ class SeqField:
 
 
 @dataclass(frozen=True, slots=True)
+class WireRegSite:
+    """A ``register_codec(Cls, tag, (field, ...))`` call site."""
+
+    cls: str
+    #: length of the literal field tuple, or -1 when it is not a literal
+    #: (arity then checked only at import time, not statically).
+    field_count: int
+    line: int
+    col: int
+    source: str
+
+
+@dataclass(frozen=True, slots=True)
 class SumSite:
     """A full (non-axis) ``numpy.sum``/``.sum()`` reduction call."""
 
@@ -166,6 +182,7 @@ class ModuleFacts:
     constructions: Tuple[CallSite, ...] = ()
     handler_checks: Tuple[str, ...] = ()
     unpacks: Tuple[UnpackSite, ...] = ()
+    wire_regs: Tuple[WireRegSite, ...] = ()
     subscripts: Tuple[SubscriptSite, ...] = ()
     shm_ctors: Tuple[Site, ...] = ()
     unregisters: Tuple[Site, ...] = ()
@@ -213,6 +230,9 @@ class ModuleFacts:
             ),
             handler_checks=tuple(doc["handler_checks"]),
             unpacks=tuple(UnpackSite(**entry) for entry in doc["unpacks"]),
+            wire_regs=tuple(
+                WireRegSite(**entry) for entry in doc["wire_regs"]
+            ),
             subscripts=tuple(
                 SubscriptSite(**entry) for entry in doc["subscripts"]
             ),
@@ -272,6 +292,7 @@ class _FactsCollector(ast.NodeVisitor):
         self.constructions: List[CallSite] = []
         self.handler_checks: List[str] = []
         self.unpacks: List[UnpackSite] = []
+        self.wire_regs: List[WireRegSite] = []
         self.subscripts: List[SubscriptSite] = []
         self.shm_ctors: List[Site] = []
         self.unregisters: List[Site] = []
@@ -458,6 +479,11 @@ class _FactsCollector(ast.NodeVisitor):
                 self.unregisters.append(self._site(node))
             if name == "isinstance" and len(node.args) == 2:
                 self._record_isinstance(node.args[1])
+            if (
+                name == "register_codec"
+                or name.endswith(".register_codec")
+            ) and node.args:
+                self._record_wire_reg(node)
             if name == "numpy.sum" and self._is_full_reduction(node):
                 site = self._site(node)
                 func["sum_sites"].append(
@@ -487,6 +513,24 @@ class _FactsCollector(ast.NodeVisitor):
         if len(node.args) > 1:
             return False  # positional axis argument
         return not any(keyword.arg == "axis" for keyword in node.keywords)
+
+    def _record_wire_reg(self, node: ast.Call) -> None:
+        cls = self._canon(node.args[0])
+        if cls is None:
+            return
+        field_count = -1
+        if len(node.args) >= 3 and isinstance(node.args[2], ast.Tuple):
+            field_count = len(node.args[2].elts)
+        site = self._site(node)
+        self.wire_regs.append(
+            WireRegSite(
+                cls=cls,
+                field_count=field_count,
+                line=site.line,
+                col=site.col,
+                source=site.source,
+            )
+        )
 
     def _record_isinstance(self, target: ast.AST) -> None:
         if not self._func_stack or not _is_handler_name(
@@ -613,6 +657,7 @@ class _FactsCollector(ast.NodeVisitor):
             constructions=tuple(self.constructions),
             handler_checks=tuple(dict.fromkeys(self.handler_checks)),
             unpacks=tuple(self.unpacks),
+            wire_regs=tuple(self.wire_regs),
             subscripts=tuple(self.subscripts),
             shm_ctors=tuple(self.shm_ctors),
             unregisters=tuple(self.unregisters),

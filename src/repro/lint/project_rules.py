@@ -7,10 +7,15 @@ They guard the invariants that no single module can witness:
 
 * **WIRE001** -- every constructed RPC verb (transitive subclass of
   ``repro.core.rpc.RpcMessage``) is isinstance-dispatched by some
-  ``handle*`` function somewhere in the project.
+  ``handle*`` function somewhere in the project, *and* carries a
+  ``register_codec`` registration so it can cross a socket framed
+  (a verb that only ever rode the in-proc transport would otherwise
+  explode the first time a deployment goes multi-process).
 * **WIRE002** -- positional tuple-unpacks of wire sequence payloads
   (``Tuple[SomeNamedTuple, ...]`` / ``Tuple[Tuple[a, b, c], ...]``
-  class fields) match the declared arity.
+  class fields) match the declared arity, and every verb's
+  ``register_codec`` field tuple matches the verb dataclass's own
+  field count (codec drift caught without importing the module).
 * **WIRE003** -- arrays owned by a ``LAYOUT_VERSION``-guarded layout
   module are never *written* through a subscript outside that module's
   package: the slot-map API is the only writer.
@@ -63,12 +68,12 @@ class ProjectRule:
 
 
 class UnhandledVerbRule(ProjectRule):
-    """WIRE001: every constructed RPC verb has a registered handler."""
+    """WIRE001: every constructed RPC verb has a handler and a codec."""
 
     id = "WIRE001"
     summary = (
-        "RPC verb is constructed but no handle* dispatcher "
-        "isinstance-checks it"
+        "RPC verb is constructed but lacks a handle* dispatcher "
+        "or a register_codec registration"
     )
 
     def check_project(self, project: ProjectContext) -> None:
@@ -76,8 +81,10 @@ class UnhandledVerbRule(ProjectRule):
         if not verbs:
             return
         checked: Set[str] = set()
+        registered: Set[str] = set()
         for facts in project.modules:
             checked.update(facts.handler_checks)
+            registered.update(reg.cls for reg in facts.wire_regs)
 
         def handled(verb: str) -> bool:
             if verb in checked:
@@ -85,18 +92,34 @@ class UnhandledVerbRule(ProjectRule):
             # A dispatcher matching a base class handles every subclass.
             return bool(project.ancestors(verb) & checked)
 
+        # Codec coverage is per concrete class: decode reconstructs via
+        # ``cls(*fields)``, so a base-class registration cannot stand in
+        # for a subclass the way a base-class isinstance check can.
         for facts in project.modules:
             for site in facts.constructions:
-                if site.name in verbs and not handled(site.name):
+                if site.name not in verbs:
+                    continue
+                short = site.name.rsplit(".", 1)[-1]
+                if not handled(site.name):
                     project.emit_at(
                         self.id,
                         facts,
                         site,
-                        f"RPC verb {site.name.rsplit('.', 1)[-1]} is "
+                        f"RPC verb {short} is "
                         "constructed here but no handle* dispatcher "
                         "isinstance-checks it (or a base class) anywhere "
                         "in the project; register a handler on the "
                         "receiving endpoint",
+                    )
+                if site.name not in registered:
+                    project.emit_at(
+                        self.id,
+                        facts,
+                        site,
+                        f"RPC verb {short} is constructed here but has "
+                        "no register_codec registration anywhere in the "
+                        "project, so it cannot cross a framed (socket) "
+                        "transport; register it in repro.core.wire",
                     )
 
 
@@ -124,8 +147,6 @@ class WireArityRule(ProjectRule):
                             arities.setdefault(seq.attr, set()).add(
                                 entry[1].field_count
                             )
-        if not arities:
-            return
         for facts in project.modules:
             for site in facts.unpacks:
                 declared = arities.get(site.attr)
@@ -140,6 +161,39 @@ class WireArityRule(ProjectRule):
                         f"declares {want}-field elements; unpack every "
                         "field (or index explicitly) so arity drift "
                         "fails loudly",
+                    )
+        self._check_codec_arity(project)
+
+    def _check_codec_arity(self, project: ProjectContext) -> None:
+        """Codec field tuples must match the verb's own field count.
+
+        Restricted to RpcMessage subclasses: verbs are plain all-init
+        dataclasses, so the class-body annotation count *is* the
+        constructor arity.  Carrier types registered alongside them
+        (e.g. ClassifierRule) may hold ``init=False`` fields the static
+        count cannot see -- import-time validation in ``register_codec``
+        still covers those.
+        """
+        verbs = project.subclasses_of(RPC_MESSAGE_BASE)
+        for facts in project.modules:
+            for reg in facts.wire_regs:
+                if reg.cls not in verbs or reg.field_count < 0:
+                    continue
+                entry = project.class_index.get(reg.cls)
+                if entry is None:
+                    continue
+                declared = entry[1].field_count
+                if reg.field_count != declared:
+                    short = reg.cls.rsplit(".", 1)[-1]
+                    project.emit_at(
+                        self.id,
+                        facts,
+                        reg,
+                        f"register_codec for verb {short} lists "
+                        f"{reg.field_count} field(s) but the dataclass "
+                        f"declares {declared}; the decode side calls "
+                        f"{short}(*fields), so the tuples must match "
+                        "exactly",
                     )
 
 

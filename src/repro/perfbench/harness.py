@@ -27,6 +27,7 @@ from repro.perfbench.micro import (
     bench_engine,
     bench_service_snapshot,
     bench_sharded_control,
+    bench_socket_rpc,
     bench_stage,
     bench_telemetry,
 )
@@ -241,6 +242,10 @@ def run_perfbench(
         "sweep_cells_per_sec": (
             "cells/s",
             lambda: bench_sweep(seed=config.seed, scale=scale),
+        ),
+        "socket_rpc_round_trips_per_sec": (
+            "round-trips/s",
+            lambda: bench_socket_rpc(n_calls=max(200, int(5_000 * scale))),
         ),
         "sharded_control_cycles_per_sec": (
             "cycles/s",

@@ -26,6 +26,7 @@ __all__ = [
     "bench_control",
     "bench_service_snapshot",
     "bench_sharded_control",
+    "bench_socket_rpc",
     "bench_telemetry",
 ]
 
@@ -262,6 +263,58 @@ def bench_control(n_cycles: int = 500) -> Dict[str, float]:
         "work": float(n_cycles),
         "cycles_per_sec_8_stages": small,
         "cycles_per_sec_256_stages": large,
+    }
+
+
+def bench_socket_rpc(n_calls: int = 5_000) -> Dict[str, float]:
+    """Framed RPC round trips/sec over a localhost socket transport.
+
+    One unit of work is what the controller pays per stage per cycle in
+    the out-of-process deployment: one ``CollectStats`` verb encoded
+    into a frame, sent over loopback TCP, dispatched through the remote
+    registry into a real :class:`DataPlaneStage` endpoint, and its
+    ``StageStats`` reply decoded back -- correlation bookkeeping,
+    canonical-JSON codec, and reader-thread wakeups all on the measured
+    path.  Compare against ``control_cycles_per_sec`` (whose in-proc
+    fabric makes the same call as a dict lookup) to see the wire tax
+    the socket fabric adds.
+    """
+    import threading
+
+    from repro.core.rpc import CollectStats, StageEndpoint
+    from repro.net import SocketTransport
+
+    controller_side = SocketTransport(deadline=30.0)
+    accepted: list = []
+    ready = threading.Event()
+
+    def on_connect(connection) -> None:
+        accepted.append(connection)
+        ready.set()
+
+    host, port = controller_side.listen("127.0.0.1", 0, on_connect=on_connect)
+    host_side = SocketTransport(deadline=30.0)
+    stage = _control_stage("bench-job/s0", "bench-job")
+    host_side.bind("bench-job/s0", StageEndpoint(stage).handle)
+    host_side.connect(host, port, name="bench-host")
+    if not ready.wait(10.0):
+        raise RuntimeError("socket rpc bench: peer never connected")
+    # The stage host's reverse tunnel: requests travel back over the
+    # connection the worker dialed.
+    controller_side.attach("bench-job/s0", accepted[0])
+    try:
+        controller_side.call("bench-job/s0", CollectStats(now=0.0))  # warm
+        start = time.perf_counter()
+        for i in range(n_calls):
+            controller_side.call("bench-job/s0", CollectStats(now=float(i)))
+        elapsed = time.perf_counter() - start
+    finally:
+        host_side.close()
+        controller_side.close()
+    return {
+        "value": n_calls / elapsed,
+        "work": float(n_calls),
+        "elapsed_s": elapsed,
     }
 
 

@@ -54,10 +54,14 @@ class AuditLog:
         capacity: Optional[int] = 4096,
         clock: Callable[[], float] = None,
         events=None,
+        sink=None,
     ) -> None:
         self._log = RingLog(capacity)
         self._clock = clock if clock is not None else (lambda: 0.0)
         self._events = events
+        #: Optional persistent JSONL sink (:class:`repro.service.sinks.
+        #: JsonlSink`); every record also lands there when set.
+        self._sink = sink
         self._lock = threading.Lock()
         self._seq = 0
 
@@ -92,6 +96,8 @@ class AuditLog:
                 error=error,
             )
             self._log.append(record)
+        if self._sink is not None:
+            self._sink.write(record.to_dict())
         if self._events is not None:
             self._events.emit(
                 "control.admin",

@@ -127,6 +127,22 @@ class ServiceConfig:
     #: /healthz turns unhealthy when the last tick is older than this
     #: (None derives ``max(5 * interval, 2.0)``).
     stale_after: Optional[float] = None
+    #: Out-of-process mode: number of stage-host worker processes the
+    #: service spawns and supervises.  0 keeps every stage in-process
+    #: (the legacy single-process world).
+    stage_procs: int = 0
+    #: Socket-fabric listener for stage hosts (only used when
+    #: ``stage_procs > 0``); port 0 binds an ephemeral port.
+    control_host: str = "127.0.0.1"
+    control_port: int = 0
+    #: Shared secret for admin verbs; None leaves the admin plane open
+    #: (trusted-network mode).  Checked constant-time by the server.
+    admin_token: Optional[str] = None
+    #: Directory for persistent JSONL audit/event sinks; None keeps the
+    #: in-memory ring logs only.
+    audit_dir: Optional[str] = None
+    #: Size threshold at which a JSONL sink rotates to ``.1``.
+    audit_rotate_bytes: int = 1_000_000
 
     def __post_init__(self) -> None:
         if not self.host:
@@ -150,6 +166,22 @@ class ServiceConfig:
         if self.stale_after is not None and self.stale_after <= 0:
             raise ConfigError(
                 f"stale_after must be positive, got {self.stale_after}"
+            )
+        if self.stage_procs < 0:
+            raise ConfigError(
+                f"stage_procs must be >= 0, got {self.stage_procs}"
+            )
+        if not self.control_host:
+            raise ConfigError("service needs a control host")
+        if not 0 <= self.control_port <= 65535:
+            raise ConfigError(
+                f"control_port must be in [0, 65535], got {self.control_port}"
+            )
+        if self.admin_token is not None and not self.admin_token:
+            raise ConfigError("admin_token must be non-empty when set")
+        if self.audit_rotate_bytes < 1:
+            raise ConfigError(
+                f"audit_rotate_bytes must be >= 1, got {self.audit_rotate_bytes}"
             )
 
     @property
@@ -176,7 +208,8 @@ def parse_service_config(doc: Mapping[str, Any]) -> ServiceConfig:
     known = {
         "host", "port", "interval", "seed", "sample_rate", "trace",
         "capacity", "channel", "workload", "faults", "orphan", "padll",
-        "audit_capacity", "stale_after",
+        "audit_capacity", "stale_after", "stage_procs", "control_host",
+        "control_port", "admin_token", "audit_dir", "audit_rotate_bytes",
     }
     unknown = set(doc) - known
     if unknown:
@@ -214,6 +247,14 @@ def parse_service_config(doc: Mapping[str, Any]) -> ServiceConfig:
         stale_after=(
             None if doc.get("stale_after") is None else float(doc["stale_after"])
         ),
+        stage_procs=int(doc.get("stage_procs", 0)),
+        control_host=str(doc.get("control_host", "127.0.0.1")),
+        control_port=int(doc.get("control_port", 0)),
+        admin_token=(
+            None if doc.get("admin_token") is None else str(doc["admin_token"])
+        ),
+        audit_dir=None if doc.get("audit_dir") is None else str(doc["audit_dir"]),
+        audit_rotate_bytes=int(doc.get("audit_rotate_bytes", 1_000_000)),
     )
 
 

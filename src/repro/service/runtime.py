@@ -19,6 +19,16 @@ Concurrency contract (pinned by ``tests/service/test_concurrent_scrape.py``):
   can never race ``tick()``.  Verbs that touch only thread-safe state
   (sampling rate, shutdown flag) apply synchronously, as does the whole
   queue when no loop is running (then there is no writer to race).
+
+Out-of-process mode (``stage_procs > 0``) swaps the fabric's inner
+transport for a listening :class:`~repro.net.SocketTransport` and moves
+every stage into supervised ``padll-repro stage-host`` children
+(:mod:`repro.service.hosts`).  Hosts dial in, PUSH registrations and
+telemetry over the wire; both land on reader threads and are therefore
+*queued* onto ``_control_queue``, applied by the same loop thread as
+admin verbs -- one writer, regardless of where the stages live.  A
+closed connection queues the eviction of everything registered over it;
+a respawned host re-registers under the same ids (takeover).
 """
 
 from __future__ import annotations
@@ -28,6 +38,8 @@ import threading
 import time
 from collections import deque
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from pathlib import Path
 
 from repro.errors import ConfigError, PolicyError, ReproError
 from repro.core.config import ChannelSpec
@@ -41,12 +53,16 @@ from repro.core.rpc import StageEndpoint
 from repro.core.stage import StageIdentity
 from repro.interpose.live_stage import LiveStage
 from repro.interpose.loop import LiveControlLoop
+from repro.net import SocketTransport, WireConnection
 from repro.service.audit import AuditLog
 from repro.service.config import ServiceConfig
+from repro.service.sinks import JsonlSink, SinkedEventLog
 from repro.service.snapshot import build_snapshot, filter_events, filter_spans
 from repro.service.workload import LiveWorkload
+from repro.telemetry.events import Event
 from repro.telemetry.export import prometheus_text
 from repro.telemetry.runtime import Telemetry, TelemetryConfig
+from repro.telemetry.trace import Span
 
 __all__ = ["ServiceRuntime", "ADMIN_ACTIONS"]
 
@@ -143,8 +159,32 @@ class ServiceRuntime:
         self._shutdown_reason: Optional[str] = None
         #: Controller mutations queued for the loop thread.
         self._pending: deque = deque()
+        #: Wire-originated mutations (register/evict/telemetry merge)
+        #: queued for the loop thread; unlike ``_pending`` these carry no
+        #: audit sequence -- they are infrastructure, not operator verbs.
+        self._control_queue: deque = deque()
         self.stages: List[LiveStage] = []
         self.workload: Optional[LiveWorkload] = None
+        #: Out-of-process state (``stage_procs > 0``): the listening
+        #: socket transport, the host supervisor, and the per-connection
+        #: bookkeeping that drives eviction and telemetry merging.
+        self.transport: Optional[SocketTransport] = None
+        self.hosts = None
+        self.control_address: Optional[tuple] = None
+        self._remote_stages: Dict[WireConnection, set] = {}
+        self._remote_hosts: Dict[WireConnection, str] = {}
+        self._remote_last: Dict[tuple, Any] = {}
+        self._remote_workload: Dict[str, Dict[str, float]] = {}
+        self._audit_sink: Optional[JsonlSink] = None
+        self._event_sink: Optional[JsonlSink] = None
+        if self.config.audit_dir is not None:
+            audit_dir = Path(self.config.audit_dir)
+            self._audit_sink = JsonlSink(
+                audit_dir / "audit.jsonl", self.config.audit_rotate_bytes
+            )
+            self._event_sink = JsonlSink(
+                audit_dir / "events.jsonl", self.config.audit_rotate_bytes
+            )
         if controller is not None:
             # Wrapped mode: serve an externally built world (tests,
             # embedders, perfbench).  No stages or workload are created.
@@ -160,12 +200,17 @@ class ServiceRuntime:
                     trace=self.config.trace,
                 )
             )
+            if self._event_sink is not None:
+                # Swap in the sinked log before any component grabs a
+                # reference: every event from here on shadows to disk.
+                self.telemetry.events = SinkedEventLog(self._event_sink)
             self._describe_metrics()
             self._build_world()
         self.audit = AuditLog(
             capacity=self.config.audit_capacity,
             clock=clock,
             events=self.telemetry.events,
+            sink=self._audit_sink,
         )
 
     # -- world construction -------------------------------------------------
@@ -175,15 +220,41 @@ class ServiceRuntime:
             "padll_live_throttled_ops_total",
             "Operations admitted through live enforcement channels.",
         )
+        if self.config.stage_procs > 0:
+            registry.describe(
+                "padll_remote_host_up",
+                "1 while a stage host's control connection is open, else 0.",
+            )
+            registry.describe(
+                "padll_remote_pushes_total",
+                "Telemetry pushes merged from each stage host.",
+            )
 
     def _build_world(self) -> None:
         config = self.config
         faults = config.faults
+        transport = None
+        if config.stage_procs > 0:
+            # Out-of-process mode: stages live in stage-host children and
+            # reach the fabric through a listening socket transport.  The
+            # FaultyFabric decoration is unchanged -- loss/latency draws
+            # happen here, over remote links exactly as over local ones.
+            transport = SocketTransport(
+                deadline=max(1.0, 4.0 * config.interval)
+            )
+            self.transport = transport
+            self.control_address = transport.listen(
+                config.control_host,
+                config.control_port,
+                on_push=self._on_wire_push,
+                on_close=self._on_wire_close,
+            )
         self.fabric = FaultyFabric(
             link=LinkProfile(loss=faults.loss),
             seed=config.seed,
             telemetry=self.telemetry,
             clock=self.clock,
+            transport=transport,
         )
         padll = config.padll
         if padll is not None and padll.algorithm is not None:
@@ -219,32 +290,35 @@ class ServiceRuntime:
             lag_rng = random.Random(config.seed)
         spec = config.workload
         now = self.clock()
-        for j in range(spec.jobs):
-            job_id = f"job{j}"
-            for s in range(spec.stages_per_job):
-                stage = LiveStage(
-                    StageIdentity(stage_id=f"{job_id}/s{s}", job_id=job_id),
-                    pfs_mounts=pfs_mounts,
-                    clock=self.clock,
-                    telemetry=self.telemetry,
-                    orphan_policy=config.orphan,
-                )
-                for channel_spec in channel_specs:
-                    channel_spec.apply(stage, now=now)
-                handler = StageEndpoint(stage).handle
-                if lag_rng is not None:
-                    handler = _LaggedHandler(
-                        handler, faults.latency, faults.jitter, lag_rng
+        if config.stage_procs == 0:
+            for j in range(spec.jobs):
+                job_id = f"job{j}"
+                for s in range(spec.stages_per_job):
+                    stage = LiveStage(
+                        StageIdentity(stage_id=f"{job_id}/s{s}", job_id=job_id),
+                        pfs_mounts=pfs_mounts,
+                        clock=self.clock,
+                        telemetry=self.telemetry,
+                        orphan_policy=config.orphan,
                     )
-                self.controller.register_endpoint(stage.identity, handler, now=now)
-                self.stages.append(stage)
+                    for channel_spec in channel_specs:
+                        channel_spec.apply(stage, now=now)
+                    handler = StageEndpoint(stage).handle
+                    if lag_rng is not None:
+                        handler = _LaggedHandler(
+                            handler, faults.latency, faults.jitter, lag_rng
+                        )
+                    self.controller.register_endpoint(
+                        stage.identity, handler, now=now
+                    )
+                    self.stages.append(stage)
         self.loop = LiveControlLoop(
             self.controller,
             interval=config.interval,
             clock=self.clock,
             on_tick=self._on_tick,
         )
-        if spec.rate > 0:
+        if config.stage_procs == 0 and spec.rate > 0:
             self.workload = LiveWorkload(self.stages, spec, seed=config.seed)
 
     # -- lifecycle -----------------------------------------------------------
@@ -253,17 +327,33 @@ class ServiceRuntime:
             self.loop.start()
         if self.workload is not None:
             self.workload.start()
+        if self.config.stage_procs > 0 and self.hosts is None:
+            from repro.service.hosts import HostSupervisor
+
+            host, port = self.control_address
+            self.hosts = HostSupervisor(
+                self.config, host, port, telemetry=self.telemetry, clock=self.clock
+            )
+            self.hosts.start()
 
     def stop(self, timeout: float = 5.0) -> Optional[BaseException]:
         """Graceful teardown; returns the loop's last error, if any."""
         error = None
+        if self.hosts is not None:
+            self.hosts.stop(timeout)
         if self.workload is not None:
             self.workload.stop(timeout)
         if self.loop is not None:
             error = self.loop.drain(timeout)
-        # The loop thread is gone: applying the remaining queue here
+        # The loop thread is gone: applying the remaining queues here
         # cannot race anything, and no admin action is silently lost.
+        self._apply_control_queue()
         self._apply_pending()
+        if self.transport is not None:
+            self.transport.close()
+        for sink in (self._audit_sink, self._event_sink):
+            if sink is not None:
+                sink.close()
         return error
 
     @property
@@ -277,8 +367,161 @@ class ServiceRuntime:
     def wait_for_shutdown(self, timeout: Optional[float] = None) -> bool:
         return self._shutdown.wait(timeout)
 
+    # -- remote stages (out-of-process mode) ---------------------------------
+    def _on_wire_push(self, connection: WireConnection, doc: Any) -> None:
+        """PUSH frames from stage hosts (reader threads): queue, don't apply."""
+        if not isinstance(doc, Mapping):
+            return
+        kind = doc.get("kind")
+        if kind == "register":
+            self._queue_control(lambda: self._register_remote(connection, doc))
+        elif kind == "telemetry":
+            self._queue_control(lambda: self._merge_remote(connection, doc))
+
+    def _on_wire_close(self, connection: WireConnection) -> None:
+        self._queue_control(lambda: self._evict_connection(connection))
+
+    def _queue_control(self, thunk: Callable[[], None]) -> None:
+        self._control_queue.append(thunk)
+        if self.loop is None or not self.loop.running:
+            # No loop thread to race (embedders, tests, post-drain).
+            self._apply_control_queue()
+
+    def _apply_control_queue(self) -> None:
+        while True:
+            try:
+                thunk = self._control_queue.popleft()
+            except IndexError:
+                return
+            try:
+                thunk()
+            except ReproError as exc:
+                self.telemetry.events.emit(
+                    "control.remote_error", self.clock(), error=str(exc)
+                )
+
+    def _register_remote(self, connection: WireConnection, doc: Mapping) -> None:
+        identity = doc.get("stage")
+        host = str(doc.get("host", ""))
+        if not isinstance(identity, StageIdentity):
+            self.telemetry.events.emit(
+                "host.register_refused",
+                self.clock(),
+                host=host,
+                reason="missing stage identity",
+            )
+            return
+        now = self.clock()
+        stage_id = identity.stage_id
+        if stage_id in self.controller.stages:
+            # Takeover: a respawned host re-registers under the same id
+            # before (or instead of) the old connection's eviction.
+            self.controller.deregister(stage_id)
+            for stages in self._remote_stages.values():
+                stages.discard(stage_id)
+
+        def handler(message, _connection=connection, _address=stage_id):
+            return _connection.request(_address, message)
+
+        self.controller.register_endpoint(identity, handler, now=now)
+        self._remote_stages.setdefault(connection, set()).add(stage_id)
+        self._remote_hosts[connection] = host
+        self.telemetry.registry.gauge("padll_remote_host_up", host=host).set(1)
+        self.telemetry.events.emit(
+            "host.register", now, host=host, stage=stage_id
+        )
+
+    def _evict_connection(self, connection: WireConnection) -> None:
+        """A host's link died: deregister everything it had registered.
+
+        Idempotent -- the monitor's respawn and the socket close can both
+        land here, and a takeover may already have moved a stage.
+        """
+        stages = self._remote_stages.pop(connection, set())
+        host = self._remote_hosts.pop(connection, "")
+        if not stages:
+            return
+        now = self.clock()
+        for stage_id in sorted(stages):
+            if stage_id in self.controller.stages:
+                try:
+                    self.controller.deregister(stage_id)
+                except ReproError:
+                    pass
+            self.telemetry.events.emit(
+                "host.evict",
+                now,
+                host=host,
+                stage=stage_id,
+                reason="connection closed",
+            )
+        self.telemetry.registry.gauge("padll_remote_host_up", host=host).set(0)
+
+    def _append_remote_event(self, kind: str, time_: float, fields: Mapping) -> None:
+        log = self.telemetry.events
+        event = Event(kind, time_, dict(fields))
+        if isinstance(log, SinkedEventLog):
+            log.record(event)
+        else:
+            log.events.append(event)
+
+    def _merge_remote(self, connection: WireConnection, doc: Mapping) -> None:
+        """Fold one host's telemetry push into this world's spine.
+
+        Counters ship as absolutes; the per-(host, metric) delta is
+        applied here so ``/metrics`` aggregates across hosts.  A smaller
+        absolute than last time means the host restarted -- its fresh
+        total *is* the delta.  Gauges last-write-win (labels carry the
+        stage id, so hosts never collide), histograms merge per-bucket
+        deltas, and events/spans append verbatim.
+        """
+        host = str(doc.get("host", self._remote_hosts.get(connection, "")))
+        registry = self.telemetry.registry
+        for entry in doc.get("metrics", ()):
+            name, label_pairs, kind, value = entry
+            labels = {str(k): v for k, v in label_pairs}
+            key = (host, name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+            if kind == "counter":
+                last = self._remote_last.get(key, 0.0)
+                delta = value - last if value >= last else value
+                if delta:
+                    registry.counter(name, **labels).inc(delta)
+                self._remote_last[key] = value
+            elif kind == "gauge":
+                registry.gauge(name, **labels).set(value)
+            elif kind == "histogram":
+                bounds = tuple(value["bounds"])
+                counts = list(value["counts"])
+                total = float(value["total"])
+                last_counts, last_total = self._remote_last.get(
+                    key, ([0.0] * len(counts), 0.0)
+                )
+                if len(last_counts) != len(counts) or any(
+                    c < lc for c, lc in zip(counts, last_counts)
+                ):
+                    last_counts, last_total = [0.0] * len(counts), 0.0
+                deltas = [c - lc for c, lc in zip(counts, last_counts)]
+                if any(deltas):
+                    registry.histogram(name, bounds=bounds, **labels).merge(
+                        deltas, total - last_total
+                    )
+                self._remote_last[key] = (counts, total)
+        for kind_, time_, fields in doc.get("events", ()):
+            self._append_remote_event(str(kind_), float(time_), fields)
+        tracer = self.telemetry.tracer
+        if tracer is not None:
+            for trace_id, name, start, end, attrs in doc.get("spans", ()):
+                tracer.spans.append(
+                    Span(str(trace_id), str(name), float(start), float(end), dict(attrs))
+                )
+        workload = doc.get("workload")
+        if workload:
+            self._remote_workload[host] = dict(workload)
+        registry.counter("padll_remote_pushes_total", host=host).inc()
+
     # -- admin plane ---------------------------------------------------------
     def _on_tick(self, now: float) -> None:
+        self._apply_control_queue()
         self._apply_pending()
 
     def _apply_pending(self) -> None:
@@ -426,14 +669,24 @@ class ServiceRuntime:
             ),
             "metrics": len(list(self.telemetry.registry.items())),
         }
+        if self.workload is not None:
+            workload: Optional[Dict[str, float]] = self.workload.counters()
+        elif self._remote_workload:
+            workload = {"threads": 0.0, "submitted": 0.0, "admitted": 0.0}
+            for counters in self._remote_workload.values():
+                for field_name in workload:
+                    workload[field_name] += float(counters.get(field_name, 0))
+        else:
+            workload = None
         return build_snapshot(
             self.clock(),
             controller=self.controller,
             loop=self.loop,
             fabric=self.fabric,
             audit=self.audit.snapshot(tail),
-            workload=None if self.workload is None else self.workload.counters(),
+            workload=workload,
             telemetry_counts=telemetry_counts,
+            hosts=None if self.hosts is None else self.hosts.counters(),
             tail=tail,
         )
 

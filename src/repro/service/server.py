@@ -20,10 +20,19 @@ Endpoints::
 Admin verb paths map onto :data:`~repro.service.runtime.ADMIN_ACTIONS`
 dotted names: ``/api/v1/admin/policy.set`` etc.  Invalid input is a 400
 (and still audited, ``ok=false``); unknown verbs/paths are 404s.
+
+When the service config carries an ``admin_token``, every admin POST
+must present it (``Authorization: Bearer <token>`` or
+``X-Padll-Admin-Token``); the comparison is constant-time and a refusal
+is a 401 that still lands in the audit trail.  The server also observes
+its own latencies -- ``padll_operator_scrape_seconds`` around the
+``/metrics`` render and ``padll_operator_admin_seconds{action=...}``
+around each admin verb -- into the same registry it serves.
 """
 
 from __future__ import annotations
 
+import hmac
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -38,6 +47,8 @@ __all__ = ["OperatorServer"]
 _PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 _JSONL_CONTENT_TYPE = "application/x-ndjson"
 _MAX_BODY = 1 << 20
+#: Bucket edges for the server's self-observed latencies, seconds.
+_LATENCY_BOUNDS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0)
 
 
 def _float_param(query: Dict[str, list], key: str) -> Optional[float]:
@@ -110,7 +121,12 @@ class _Handler(BaseHTTPRequestHandler):
     def _route_get(self, path: str, query: Dict[str, list]) -> None:
         runtime = self.runtime
         if path == "/metrics":
-            self._send(200, runtime.metrics_text().encode(), _PROM_CONTENT_TYPE)
+            start = runtime.clock()
+            body = runtime.metrics_text().encode()
+            # Observed after the render: this scrape's cost shows up in
+            # the next exposition, which is how Prometheus servers do it.
+            self.server.scrape_latency.observe(runtime.clock() - start)
+            self._send(200, body, _PROM_CONTENT_TYPE)
         elif path == "/healthz":
             health = runtime.health()
             self._send_json(200 if health["healthy"] else 503, health)
@@ -163,11 +179,26 @@ class _Handler(BaseHTTPRequestHandler):
                  "actions": sorted(ADMIN_ACTIONS)},
             )
             return
+        if not self._authorized():
+            # Audited like any refused verb, but without echoing whatever
+            # credential (if any) the caller presented.
+            self.runtime.audit.append(
+                action,
+                {"remote": self.client_address[0]},
+                ok=False,
+                error="unauthorized",
+            )
+            self.server.unauthorized_total.inc()
+            self._send_json(
+                401, {"error": "admin token required", "action": action}
+            )
+            return
         try:
             params = self._read_body()
         except ValueError as exc:
             self._send_json(400, {"error": str(exc)})
             return
+        start = self.runtime.clock()
         try:
             result = self.runtime.admin(action, params)
         except (ConfigError, PolicyError, StageNotRegistered) as exc:
@@ -176,6 +207,22 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(500, {"error": str(exc), "action": action})
         else:
             self._send_json(200, result)
+        finally:
+            self.server.admin_latency[action].observe(
+                self.runtime.clock() - start
+            )
+
+    def _authorized(self) -> bool:
+        """Constant-time shared-secret check; open when no token is set."""
+        token = self.runtime.config.admin_token
+        if token is None:
+            return True
+        supplied = self.headers.get("X-Padll-Admin-Token") or ""
+        if not supplied:
+            bearer = self.headers.get("Authorization") or ""
+            if bearer.startswith("Bearer "):
+                supplied = bearer[len("Bearer "):]
+        return hmac.compare_digest(supplied.encode(), token.encode())
 
     def _read_body(self) -> Dict[str, Any]:
         length = int(self.headers.get("Content-Length") or 0)
@@ -200,6 +247,38 @@ class _Server(ThreadingHTTPServer):
     def __init__(self, address: Tuple[str, int], runtime: ServiceRuntime) -> None:
         super().__init__(address, _Handler)
         self.runtime = runtime
+        # Handles are interned up front (the verb set is closed), so
+        # request threads only ever *observe* -- the registry's interning
+        # tables stay single-writer.
+        registry = runtime.telemetry.registry
+        registry.describe(
+            "padll_operator_scrape_seconds",
+            "Latency of rendering the /metrics exposition.",
+        )
+        registry.describe(
+            "padll_operator_admin_seconds",
+            "Latency of admin verb dispatch, per action.",
+        )
+        registry.describe(
+            "padll_operator_unauthorized_total",
+            "Admin requests refused for a missing or wrong token.",
+        )
+        self.scrape_latency = registry.histogram(
+            "padll_operator_scrape_seconds",
+            bounds=_LATENCY_BOUNDS,
+            endpoint="/metrics",
+        )
+        self.admin_latency = {
+            action: registry.histogram(
+                "padll_operator_admin_seconds",
+                bounds=_LATENCY_BOUNDS,
+                action=action,
+            )
+            for action in ADMIN_ACTIONS
+        }
+        self.unauthorized_total = registry.counter(
+            "padll_operator_unauthorized_total"
+        )
 
 
 class OperatorServer:

@@ -121,6 +121,7 @@ def build_snapshot(
     audit: Optional[List[Dict[str, Any]]] = None,
     workload: Optional[Mapping[str, Any]] = None,
     telemetry_counts: Optional[Mapping[str, int]] = None,
+    hosts: Optional[Mapping[str, Any]] = None,
     tail: int = 32,
 ) -> Dict[str, Any]:
     """The versioned document ``/api/v1/snapshot`` serves."""
@@ -138,6 +139,8 @@ def build_snapshot(
         snapshot["workload"] = dict(workload)
     if telemetry_counts is not None:
         snapshot["telemetry"] = dict(telemetry_counts)
+    if hosts is not None:
+        snapshot["hosts"] = dict(hosts)
     return snapshot
 
 

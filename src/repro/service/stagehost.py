@@ -1,0 +1,250 @@
+"""Out-of-process stage host: LiveStages + workload drivers in a worker.
+
+``padll-repro stage-host`` runs this module's :class:`StageHost`: a
+process holding a handful of :class:`~repro.interpose.live_stage.
+LiveStage` data planes (with their synthetic workload drivers), dialing
+the controller's socket fabric and *registering* its stages over the
+wire -- the paper's deployment shape, where enforcement lives inside
+application processes and only the control plane is centralised.
+
+The connection is the reverse tunnel of :mod:`repro.net`: the host
+dials out, binds its stage endpoints on its own
+:class:`~repro.net.SocketTransport`, and the controller's collect and
+enforce verbs arrive back over the same socket.  A telemetry pump
+thread periodically PUSHes this world's counters, events, and spans so
+the operator service's ``/metrics`` and span queries cover remote
+stages exactly like local ones.
+
+Losing the connection is fatal by design: the supervisor
+(:mod:`repro.service.hosts`) owns restarts, and a restarted host simply
+re-registers (the controller treats a duplicate registration from a new
+connection as a takeover).
+"""
+
+from __future__ import annotations
+
+import os
+import socket as socketlib
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError, RPCError
+from repro.core.rpc import StageEndpoint
+from repro.core.stage import OrphanPolicy, StageIdentity
+from repro.interpose.live_stage import LiveStage
+from repro.net import SocketTransport, WireConnection
+from repro.service.config import WorkloadSpec
+from repro.service.runtime import _default_channel_spec
+from repro.service.workload import LiveWorkload
+from repro.telemetry.runtime import Telemetry, TelemetryConfig
+
+__all__ = ["StageHost"]
+
+#: Default period between telemetry pushes, seconds.
+DEFAULT_PUSH_INTERVAL = 0.5
+
+
+def job_of(stage_id: str) -> str:
+    """Job id convention: everything before the first ``/``."""
+    return stage_id.split("/", 1)[0]
+
+
+class StageHost:
+    """One worker process's worth of live stages behind a dialed wire."""
+
+    def __init__(
+        self,
+        host_id: str,
+        stage_ids: Sequence[str],
+        *,
+        channel: str = "metadata",
+        seed: int = 0,
+        workload: Optional[WorkloadSpec] = None,
+        sample_rate: float = 0.05,
+        orphan: Optional[OrphanPolicy] = None,
+        pfs_mounts: Tuple[str, ...] = ("/pfs",),
+        push_interval: float = DEFAULT_PUSH_INTERVAL,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not host_id:
+            raise ConfigError("stage host needs a host id")
+        if not stage_ids:
+            raise ConfigError("stage host needs at least one stage id")
+        if push_interval <= 0:
+            raise ConfigError(
+                f"push interval must be positive, got {push_interval}"
+            )
+        self.host_id = host_id
+        self.clock = clock
+        self._push_interval = push_interval
+        self.telemetry = Telemetry(
+            TelemetryConfig(seed=seed, sample_rate=sample_rate, trace=True)
+        )
+        self.transport = SocketTransport()
+        self.stages: List[LiveStage] = []
+        now = clock()
+        spec = _default_channel_spec(channel)
+        for stage_id in stage_ids:
+            stage = LiveStage(
+                StageIdentity(
+                    stage_id=stage_id,
+                    job_id=job_of(stage_id),
+                    hostname=socketlib.gethostname(),
+                    pid=os.getpid(),
+                ),
+                pfs_mounts=pfs_mounts,
+                clock=clock,
+                telemetry=self.telemetry,
+                orphan_policy=orphan,
+            )
+            spec.apply(stage, now=now)
+            self.transport.bind(stage_id, StageEndpoint(stage).handle)
+            self.stages.append(stage)
+        self.workload: Optional[LiveWorkload] = None
+        if workload is not None and workload.rate > 0:
+            self.workload = LiveWorkload(self.stages, workload, seed=seed)
+        self.connection: Optional[WireConnection] = None
+        self._stop = threading.Event()
+        self._stopped = False
+        self._disconnected = threading.Event()
+        self._pump = threading.Thread(
+            target=self._pump_loop, name=f"padll-host-pump-{host_id}", daemon=True
+        )
+        # Incremental cursors: only new events/spans ship each push.
+        self._event_cursor = 0
+        self._span_cursor = 0
+        self.pushes = 0
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self, host: str, port: int, *, timeout: float = 5.0) -> None:
+        """Dial the controller, register every stage, start driving."""
+        self.connection = self.transport.connect(
+            host,
+            port,
+            name=self.host_id,
+            on_close=self._on_close,
+            timeout=timeout,
+        )
+        for stage in self.stages:
+            self.connection.push(
+                {
+                    "kind": "register",
+                    "host": self.host_id,
+                    "address": stage.identity.stage_id,
+                    "stage": stage.identity,
+                }
+            )
+        if self.workload is not None:
+            self.workload.start()
+        self._pump.start()
+
+    def _on_close(self, connection: WireConnection) -> None:
+        self._disconnected.set()
+
+    @property
+    def disconnected(self) -> bool:
+        return self._disconnected.is_set()
+
+    def run(self, duration: Optional[float] = None) -> int:
+        """Block until stop, disconnect, or ``duration`` elapses.
+
+        Returns a process exit code: 0 for an orderly stop, 1 when the
+        controller link died underneath us (the supervisor's respawn
+        signal).
+        """
+        deadline = None if duration is None else self.clock() + duration
+        while not self._stop.is_set() and not self._disconnected.is_set():
+            remaining = 0.2
+            if deadline is not None:
+                remaining = min(remaining, deadline - self.clock())
+                if remaining <= 0:
+                    break
+            self._stop.wait(remaining)
+        orderly = self._stop.is_set() or not self._disconnected.is_set()
+        self.stop()
+        return 0 if orderly else 1
+
+    def request_stop(self) -> None:
+        """Signal-handler-safe: unblocks :meth:`run`, which then stops."""
+        self._stop.set()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+        self._stop.set()
+        if self.workload is not None:
+            self.workload.stop(timeout)
+        if self._pump.is_alive():
+            self._pump.join(timeout)
+        # Final flush so nothing observed between pushes is lost.
+        self._push_telemetry()
+        if self.connection is not None:
+            self.connection.close(reason="stage host stopping")
+        self.transport.close()
+
+    # -- telemetry pump ----------------------------------------------------
+    def _pump_loop(self) -> None:
+        while not self._stop.wait(self._push_interval):
+            if self._disconnected.is_set():
+                return
+            self._push_telemetry()
+
+    def _metrics_doc(self) -> List[List[object]]:
+        doc: List[List[object]] = []
+        for name, labels, kind, metric in self.telemetry.registry.items():
+            if kind in ("counter", "gauge"):
+                doc.append([name, [list(pair) for pair in labels], kind, metric.value])
+            elif kind == "histogram":
+                doc.append(
+                    [
+                        name,
+                        [list(pair) for pair in labels],
+                        kind,
+                        {
+                            "bounds": list(metric.bounds),
+                            "counts": list(metric.bucket_counts()),
+                            "total": metric.total,
+                        },
+                    ]
+                )
+        return doc
+
+    def _push_telemetry(self) -> None:
+        connection = self.connection
+        if connection is None or connection.closed:
+            return
+        events = self.telemetry.events.events
+        event_end = len(events)
+        new_events = [
+            [event.kind, event.time, event.fields]
+            for event in events[self._event_cursor : event_end]
+        ]
+        tracer = self.telemetry.tracer
+        new_spans: List[List[object]] = []
+        span_end = 0
+        if tracer is not None:
+            spans = tracer.spans
+            span_end = len(spans)
+            new_spans = [
+                [span.trace_id, span.name, span.start, span.end, span.attrs]
+                for span in spans[self._span_cursor : span_end]
+            ]
+        doc = {
+            "kind": "telemetry",
+            "host": self.host_id,
+            "metrics": self._metrics_doc(),
+            "events": new_events,
+            "spans": new_spans,
+            "workload": (
+                None if self.workload is None else self.workload.counters()
+            ),
+        }
+        try:
+            connection.push(doc)
+        except RPCError:
+            return  # link died mid-push; cursors stay put for the next host
+        self._event_cursor = event_end
+        self._span_cursor = span_end
+        self.pushes += 1

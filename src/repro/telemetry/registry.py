@@ -15,7 +15,7 @@ counter/gauge/histogram metrics.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
 from repro.monitoring.metrics import TimeSeries
@@ -154,6 +154,36 @@ class Histogram:
         self._window_total = 0.0
         self._window_start = now
         return window
+
+    def bucket_counts(self) -> Tuple[float, ...]:
+        """Raw per-bucket totals over all time (last entry is +Inf).
+
+        This is the shape a remote stage host ships over the telemetry
+        wire; :meth:`merge` is its receiving end.
+        """
+        return tuple(self._counts)
+
+    def merge(self, counts: Sequence[float], total: float) -> None:
+        """Fold a remote histogram *delta* into this one.
+
+        ``counts`` must be bucket-aligned (same bounds, trailing +Inf);
+        the delta is added to both the all-time totals and the open
+        window, as if the observations had happened locally.
+        """
+        if len(counts) != len(self._counts):
+            raise ConfigError(
+                f"histogram {self.name!r} merge needs {len(self._counts)} "
+                f"buckets, got {len(counts)}"
+            )
+        added = 0.0
+        for index, n in enumerate(counts):
+            self._counts[index] += n
+            self._window_counts[index] += n
+            added += n
+        self.count += added
+        self.total += total
+        self._window_count += added
+        self._window_total += total
 
     def cumulative(self) -> List[Tuple[float, float]]:
         """Prometheus-style cumulative ``(le, count)`` pairs over all time."""

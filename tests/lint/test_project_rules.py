@@ -28,6 +28,14 @@ class StageEndpoint:
         if isinstance(msg, Ping):
             return "pong"
         return None
+
+
+def register_codec(cls, tag, fields):
+    pass
+
+
+register_codec(Ping, "Ping", ())
+register_codec(Reconfigure, "Reconfigure", ())
 """
 
 
@@ -79,6 +87,13 @@ class TestWire001:
                     "        if isinstance(msg, RpcMessage):\n"
                     "            return msg\n"
                     "        return None\n"
+                    "\n"
+                    "\n"
+                    "def register_codec(cls, tag, fields):\n"
+                    "    pass\n"
+                    "\n"
+                    "\n"
+                    'register_codec(Reconfigure, "Reconfigure", ())\n'
                 ),
                 "src/repro/core/session.py": (
                     "from repro.core.rpc import Reconfigure\n"
@@ -116,6 +131,14 @@ class TestWire001:
                     "        if isinstance(msg, _VERBS):\n"
                     "            return msg\n"
                     "        return None\n"
+                    "\n"
+                    "\n"
+                    "def register_codec(cls, tag, fields):\n"
+                    "    pass\n"
+                    "\n"
+                    "\n"
+                    'register_codec(Ping, "Ping", ())\n'
+                    'register_codec(Reconfigure, "Reconfigure", ())\n'
                 ),
                 "src/repro/core/session.py": (
                     "from repro.core.rpc import Ping, Reconfigure\n"
@@ -127,6 +150,78 @@ class TestWire001:
             },
         )
         assert active == []
+
+    def test_missing_codec_registration_fires(self, tmp_path):
+        # Handled everywhere, but never registered with the wire codec:
+        # the verb would explode the first time it met a socket.
+        active = _lint_tree(
+            tmp_path,
+            {
+                "src/repro/core/rpc.py": (
+                    "class RpcMessage:\n"
+                    "    pass\n"
+                    "\n"
+                    "\n"
+                    "class Reconfigure(RpcMessage):\n"
+                    "    pass\n"
+                    "\n"
+                    "\n"
+                    "class Endpoint:\n"
+                    "    def handle(self, msg):\n"
+                    "        if isinstance(msg, Reconfigure):\n"
+                    "            return msg\n"
+                    "        return None\n"
+                ),
+                "src/repro/core/session.py": (
+                    "from repro.core.rpc import Reconfigure\n"
+                    "\n"
+                    "\n"
+                    "def send():\n"
+                    "    return Reconfigure()\n"
+                ),
+            },
+        )
+        assert [f.rule for f in active] == ["WIRE001"]
+        assert "no register_codec registration" in active[0].message
+
+    def test_base_class_codec_cannot_stand_in(self, tmp_path):
+        # decode calls cls(*fields): coverage is per concrete class.
+        active = _lint_tree(
+            tmp_path,
+            {
+                "src/repro/core/rpc.py": (
+                    "class RpcMessage:\n"
+                    "    pass\n"
+                    "\n"
+                    "\n"
+                    "class Reconfigure(RpcMessage):\n"
+                    "    pass\n"
+                    "\n"
+                    "\n"
+                    "class Endpoint:\n"
+                    "    def handle(self, msg):\n"
+                    "        if isinstance(msg, Reconfigure):\n"
+                    "            return msg\n"
+                    "        return None\n"
+                    "\n"
+                    "\n"
+                    "def register_codec(cls, tag, fields):\n"
+                    "    pass\n"
+                    "\n"
+                    "\n"
+                    'register_codec(RpcMessage, "RpcMessage", ())\n'
+                ),
+                "src/repro/core/session.py": (
+                    "from repro.core.rpc import Reconfigure\n"
+                    "\n"
+                    "\n"
+                    "def send():\n"
+                    "    return Reconfigure()\n"
+                ),
+            },
+        )
+        assert [f.rule for f in active] == ["WIRE001"]
+        assert "no register_codec registration" in active[0].message
 
 
 class TestWire002:
@@ -175,6 +270,92 @@ class TestWire002:
                     "    for job_id, rate, floor in batch.entries:\n"
                     "        out.append(rate)\n"
                     "    return out\n"
+                ),
+            },
+        )
+        assert active == []
+
+    CODEC_FILES = {
+        "src/repro/core/rpc.py": (
+            "class RpcMessage:\n"
+            "    pass\n"
+            "\n"
+            "\n"
+            "class EnforceRate(RpcMessage):\n"
+            "    channel_id: str\n"
+            "    rate: float\n"
+            "    now: float\n"
+            "    burst: float\n"
+            "\n"
+            "\n"
+            "class Endpoint:\n"
+            "    def handle(self, msg):\n"
+            "        if isinstance(msg, RpcMessage):\n"
+            "            return msg\n"
+            "        return None\n"
+        ),
+    }
+
+    def test_codec_arity_drift_fires_once(self, tmp_path):
+        active = _lint_tree(
+            tmp_path,
+            {
+                **self.CODEC_FILES,
+                "src/repro/core/wire.py": (
+                    "from repro.core.rpc import EnforceRate\n"
+                    "\n"
+                    "\n"
+                    "def register_codec(cls, tag, fields):\n"
+                    "    pass\n"
+                    "\n"
+                    "\n"
+                    'register_codec(EnforceRate, "EnforceRate",'
+                    ' ("channel_id", "rate", "now"))\n'
+                ),
+            },
+        )
+        assert [f.rule for f in active] == ["WIRE002"]
+        assert "lists 3 field(s)" in active[0].message
+        assert "declares 4" in active[0].message
+        assert active[0].path.endswith("wire.py")
+
+    def test_matching_codec_arity_is_clean(self, tmp_path):
+        active = _lint_tree(
+            tmp_path,
+            {
+                **self.CODEC_FILES,
+                "src/repro/core/wire.py": (
+                    "from repro.core.rpc import EnforceRate\n"
+                    "\n"
+                    "\n"
+                    "def register_codec(cls, tag, fields):\n"
+                    "    pass\n"
+                    "\n"
+                    "\n"
+                    'register_codec(EnforceRate, "EnforceRate",'
+                    ' ("channel_id", "rate", "now", "burst"))\n'
+                ),
+            },
+        )
+        assert active == []
+
+    def test_non_literal_fields_tuple_is_skipped(self, tmp_path):
+        # A computed fields tuple can't be checked statically; the
+        # import-time validation in the real register_codec covers it.
+        active = _lint_tree(
+            tmp_path,
+            {
+                **self.CODEC_FILES,
+                "src/repro/core/wire.py": (
+                    "from repro.core.rpc import EnforceRate\n"
+                    "\n"
+                    "\n"
+                    "def register_codec(cls, tag, fields):\n"
+                    "    pass\n"
+                    "\n"
+                    "\n"
+                    "_FIELDS = (\"channel_id\",)\n"
+                    'register_codec(EnforceRate, "EnforceRate", _FIELDS)\n'
                 ),
             },
         )

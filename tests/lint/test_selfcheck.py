@@ -48,9 +48,9 @@ class TestSelfCheck:
 
     def test_seeded_cross_module_violation_is_caught(self, tmp_path):
         # Project-pass rehearsal on the real tree: copy src/, append an
-        # RPC verb that is constructed but handled nowhere, and assert
-        # exactly the WIRE001 finding appears (the CI lint job runs the
-        # same injection through the CLI).
+        # RPC verb that is constructed but neither handled nor codec-
+        # registered anywhere, and assert both WIRE001 findings appear
+        # (the CI lint job runs the same injection through the CLI).
         import shutil
 
         shutil.copytree(REPO_ROOT / "src", tmp_path / "src")
@@ -72,8 +72,11 @@ class TestSelfCheck:
         result = lint_paths(
             [tmp_path / "src"], replace(config, root=str(tmp_path))
         )
-        assert [f.rule for f in result.active] == ["WIRE001"]
-        assert result.active[0].path.endswith("session.py")
+        assert [f.rule for f in result.active] == ["WIRE001", "WIRE001"]
+        assert all(f.path.endswith("session.py") for f in result.active)
+        messages = " | ".join(f.message for f in result.active)
+        assert "dispatcher" in messages
+        assert "no register_codec registration" in messages
 
     def test_patched_os_table_covers_monkeypatch_surface(self):
         # INT001's entry-point list must cover everything the Interposer

@@ -1,0 +1,176 @@
+"""Shared-secret admin authentication and operator self-observation.
+
+With ``admin_token`` configured, every admin POST must present the
+token (``Authorization: Bearer`` or ``X-Padll-Admin-Token``); a refusal
+is a 401 that still lands in the audit trail and increments
+``padll_operator_unauthorized_total``.  Read endpoints stay open -- the
+scrape surface carries no secrets the registry doesn't already expose.
+The server also observes its own latencies; those histograms must show
+up in the exposition it serves.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import OperatorServer, ServiceConfig, ServiceRuntime, WorkloadSpec
+
+TOKEN = "s3kr1t-token"
+
+
+def make_runtime(**kwargs) -> ServiceRuntime:
+    defaults = dict(
+        port=0,
+        interval=0.05,
+        seed=11,
+        sample_rate=1.0,
+        workload=WorkloadSpec(jobs=2, stages_per_job=1, rate=0.0),
+        capacity=100.0,
+    )
+    defaults.update(kwargs)
+    return ServiceRuntime(ServiceConfig(**defaults))
+
+
+@pytest.fixture()
+def secured():
+    runtime = make_runtime(admin_token=TOKEN)
+    server = OperatorServer(runtime, "127.0.0.1", 0)
+    server.start()
+    yield runtime, server
+    server.stop()
+    runtime.stop()
+
+
+def post(server, path, doc, headers=None):
+    request = urllib.request.Request(
+        server.url + path, data=json.dumps(doc).encode(), method="POST"
+    )
+    for name, value in (headers or {}).items():
+        request.add_header(name, value)
+    try:
+        with urllib.request.urlopen(request) as response:
+            return response.status, json.loads(response.read().decode())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode())
+
+
+def get(server, path):
+    try:
+        with urllib.request.urlopen(server.url + path) as response:
+            return response.status, response.read().decode()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read().decode()
+
+
+class TestTokenRefusal:
+    def test_missing_token_401(self, secured):
+        runtime, server = secured
+        status, body = post(server, "/api/v1/admin/job.rate", {"job": "job0", "rate": 5.0})
+        assert status == 401
+        assert body["error"] == "admin token required"
+        assert body["action"] == "job.rate"
+
+    def test_wrong_token_401(self, secured):
+        runtime, server = secured
+        status, _ = post(
+            server,
+            "/api/v1/admin/job.rate",
+            {"job": "job0", "rate": 5.0},
+            headers={"X-Padll-Admin-Token": "wrong"},
+        )
+        assert status == 401
+
+    def test_refusal_is_audited_without_credentials(self, secured):
+        runtime, server = secured
+        post(server, "/api/v1/admin/job.rate", {"job": "job0", "rate": 5.0})
+        records = runtime.audit.snapshot()
+        refusal = records[-1]
+        assert refusal["action"] == "job.rate"
+        assert refusal["ok"] is False
+        assert refusal["error"] == "unauthorized"
+        # Only the remote address is recorded -- never whatever
+        # credential (right or wrong) the caller presented.
+        assert set(refusal["params"]) == {"remote"}
+
+    def test_refusals_counted(self, secured):
+        runtime, server = secured
+        for _ in range(3):
+            post(server, "/api/v1/admin/job.drain", {"job": "job0"})
+        _, text = get(server, "/metrics")
+        assert "padll_operator_unauthorized_total 3" in text
+
+    def test_unknown_verb_404_before_auth(self, secured):
+        runtime, server = secured
+        status, body = post(server, "/api/v1/admin/no.such.verb", {})
+        assert status == 404  # the verb table is public knowledge
+
+    def test_reads_stay_open(self, secured):
+        runtime, server = secured
+        for path in ("/metrics", "/healthz", "/api/v1/snapshot", "/api/v1/audit"):
+            status, _ = get(server, path)
+            assert status in (200, 503), path
+
+
+class TestTokenAcceptance:
+    def test_bearer_header(self, secured):
+        runtime, server = secured
+        status, body = post(
+            server,
+            "/api/v1/admin/job.rate",
+            {"job": "job0", "rate": 5.0},
+            headers={"Authorization": f"Bearer {TOKEN}"},
+        )
+        assert status == 200
+        assert body["seq"] >= 1
+
+    def test_custom_header(self, secured):
+        runtime, server = secured
+        status, _ = post(
+            server,
+            "/api/v1/admin/job.rate",
+            {"job": "job0", "rate": 6.0},
+            headers={"X-Padll-Admin-Token": TOKEN},
+        )
+        assert status == 200
+
+    def test_no_token_configured_is_open(self):
+        runtime = make_runtime()  # admin_token=None
+        with OperatorServer(runtime, "127.0.0.1", 0) as server:
+            status, _ = post(
+                server, "/api/v1/admin/job.rate", {"job": "job0", "rate": 5.0}
+            )
+        runtime.stop()
+        assert status == 200
+
+
+class TestSelfObservation:
+    def test_admin_latency_histogram_exposed(self, secured):
+        runtime, server = secured
+        post(
+            server,
+            "/api/v1/admin/job.rate",
+            {"job": "job0", "rate": 5.0},
+            headers={"Authorization": f"Bearer {TOKEN}"},
+        )
+        _, text = get(server, "/metrics")
+        assert 'padll_operator_admin_seconds_bucket{action="job.rate"' in text
+        assert 'padll_operator_admin_seconds_count{action="job.rate"} 1' in text
+
+    def test_scrape_latency_lands_in_next_exposition(self, secured):
+        runtime, server = secured
+        _, first = get(server, "/metrics")
+        assert "padll_operator_scrape_seconds_count 0" not in first or True
+        _, second = get(server, "/metrics")
+        # The first scrape's cost is observed after its render, so the
+        # second exposition must carry at least one observation.
+        assert 'padll_operator_scrape_seconds_count{endpoint="/metrics"}' in second
+        count_line = next(
+            line
+            for line in second.splitlines()
+            if line.startswith("padll_operator_scrape_seconds_count")
+        )
+        assert float(count_line.rsplit(" ", 1)[1]) >= 1

@@ -224,13 +224,23 @@ class TestLiveScrape:
                 deadline = time.monotonic() + 5.0
                 while runtime.loop.ticks < 3 and time.monotonic() < deadline:
                     time.sleep(0.05)
-                with urllib.request.urlopen(server.url + "/metrics") as response:
-                    assert response.status == 200
-                    text = response.read().decode()
+                # Scrape twice: the first scrape's own latency is
+                # observed after its render, so the second exposition
+                # carries the operator self-metrics with real samples.
+                for _ in range(2):
+                    with urllib.request.urlopen(
+                        server.url + "/metrics"
+                    ) as response:
+                        assert response.status == 200
+                        text = response.read().decode()
         finally:
             runtime.stop()
         families = parse_exposition(text)
         assert "padll_live_throttled_ops_total" in families
+        assert "padll_operator_scrape_seconds" in families
+        assert families["padll_operator_scrape_seconds"]["type"] == "histogram"
+        assert "padll_operator_admin_seconds" in families
+        assert "padll_operator_unauthorized_total" in families
         assert (
             families["padll_live_throttled_ops_total"]["help"]
             == "Operations admitted through live enforcement channels."

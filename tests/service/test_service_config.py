@@ -122,3 +122,48 @@ class TestOverrides:
         config = with_overrides(ServiceConfig(), port=0, seed=9)
         assert config.port == 0
         assert config.seed == 9
+
+
+class TestMultiProcessKeys:
+    def test_defaults_stay_in_process(self):
+        config = ServiceConfig()
+        assert config.stage_procs == 0
+        assert config.control_host == "127.0.0.1"
+        assert config.control_port == 0
+        assert config.admin_token is None
+        assert config.audit_dir is None
+        assert config.audit_rotate_bytes == 1_000_000
+
+    def test_parse_round_trip(self):
+        config = parse_service_config(
+            {
+                "port": 0,
+                "stage_procs": 3,
+                "control_host": "0.0.0.0",
+                "control_port": 9180,
+                "admin_token": "hunter2",
+                "audit_dir": "/var/lib/padll",
+                "audit_rotate_bytes": 4096,
+            }
+        )
+        assert config.stage_procs == 3
+        assert config.control_host == "0.0.0.0"
+        assert config.control_port == 9180
+        assert config.admin_token == "hunter2"
+        assert config.audit_dir == "/var/lib/padll"
+        assert config.audit_rotate_bytes == 4096
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"stage_procs": -1},
+            {"control_host": ""},
+            {"control_port": -1},
+            {"control_port": 70000},
+            {"admin_token": ""},
+            {"audit_rotate_bytes": 0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            ServiceConfig(port=0, **kwargs)

@@ -102,6 +102,7 @@ class TestHarness:
             "service_snapshot_per_sec",
             "fig4_sim_seconds_per_sec",
             "sweep_cells_per_sec",
+            "socket_rpc_round_trips_per_sec",
             "sharded_control_cycles_per_sec",
             "fig4_sharded_sim_seconds_per_sec",
         }
